@@ -1,0 +1,192 @@
+package tokenmagic
+
+// One testing.B benchmark per paper table/figure, plus the DESIGN.md
+// ablations. Each benchmark regenerates its artefact's data series; run
+//
+//	go test -bench=. -benchmem
+//
+// and compare shapes against EXPERIMENTS.md. The heavyweight sweeps use a
+// reduced instance count per iteration so `go test -bench=.` terminates in
+// minutes; cmd/benchfigures reproduces the paper-scale runs.
+
+import (
+	"errors"
+	"testing"
+
+	"tokenmagic/internal/bench"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{Instances: 10, Seed: 1, Headroom: true}
+}
+
+// BenchmarkFigure3_TokenDistribution regenerates the real data set's
+// output-count histogram (Figure 3).
+func BenchmarkFigure3_TokenDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkFigure4_BFSPerRS measures exact TM_B generation of successive
+// rings on the 20-token micro set with recursive (5,3)-diversity (Figure 4).
+func BenchmarkFigure4_BFSPerRS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Figure4(1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFigure5_VaryC sweeps c_τ over the real data set (Figure 5).
+func BenchmarkFigure5_VaryC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6_VaryL sweeps ℓ_τ over the real data set (Figure 6).
+func BenchmarkFigure6_VaryL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7_VarySigma sweeps the HT-distribution σ (Figure 7).
+func BenchmarkFigure7_VarySigma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8_VaryS sweeps the super-ring count |S| (Figure 8).
+func BenchmarkFigure8_VaryS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9_VarySuperSize sweeps the super-ring size range (Figure 9).
+func BenchmarkFigure9_VarySuperSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure9(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10_VaryFresh sweeps the fresh-token count |F| (Figure 10).
+func BenchmarkFigure10_VaryFresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure10(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_DTRSExactVsClosedForm measures A1: exact Algorithm-3
+// DTRS checks vs the Theorem-6.1 closed form.
+func BenchmarkAblation_DTRSExactVsClosedForm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := bench.AblationDTRS(10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Agreements != a.Instances {
+			b.Fatalf("closed form disagreed on %d instances", a.Instances-a.Agreements)
+		}
+	}
+}
+
+// BenchmarkAblation_EtaGuard measures A2: liveness with and without the
+// η guard.
+func BenchmarkAblation_EtaGuard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationEta(0.5, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Headroom measures A3: the second practical configuration
+// on vs off.
+func BenchmarkAblation_Headroom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := bench.AblationHeadroom(true, 5, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if on.Violations != 0 {
+			b.Fatal("headroom must prevent DTRS violations")
+		}
+	}
+}
+
+// BenchmarkSpendEndToEnd measures the full public-API pipeline: selection,
+// real ring signature, verification, commit. Sustained consumption
+// eventually exhausts a batch (double spends, η-guard rejections), so the
+// benchmark rebuilds a fresh system outside the timed path whenever the
+// current one runs dry.
+func BenchmarkSpendEndToEnd(b *testing.B) {
+	req := Requirement{C: 1, L: 5}
+	fresh := func() (*System, []TokenID) {
+		sys := NewSystem(Options{})
+		outs := make([]int, 200)
+		for i := range outs {
+			outs[i] = 2
+		}
+		ids, err := sys.MintBlock(outs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		return sys, ids
+	}
+	sys, ids := fresh()
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next >= len(ids) {
+			b.StopTimer()
+			sys, ids = fresh()
+			next = 0
+			b.StartTimer()
+		}
+		_, err := sys.Spend(ids[next], req)
+		next++
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrDoubleSpend), errors.Is(err, ErrLiveness), errors.Is(err, ErrNoEligible):
+				// Batch exhaustion under sustained consumption: replace the
+				// system outside the timed path and retry this iteration.
+				b.StopTimer()
+				sys, ids = fresh()
+				next = 0
+				b.StartTimer()
+				i--
+			default:
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command benchfigures regenerates every table and figure of the paper's
+// evaluation section as text series.
+//
+// Usage:
+//
+//	benchfigures [-fig N] [-tables] [-ablations] [-instances N] [-seed N] [-max-bfs N]
+//
+// With no flags it runs everything at a moderate instance count. Pass
+// -instances 1000 for paper-scale sweeps (slower), -fig 5 for a single
+// figure, -tables for the Table 2/3 settings, -ablations for A1–A3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokenmagic/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "run a single figure (3–10); 0 runs all")
+		tables    = flag.Bool("tables", false, "print Table 2 and Table 3 settings")
+		ablations = flag.Bool("ablations", false, "run ablations A1–A3")
+		trace     = flag.Bool("traceability", false, "run the Monero-SM vs TokenMagic traceability experiment")
+		quality   = flag.Bool("quality", false, "measure approximation gaps against the exact modular optimum")
+		instances = flag.Int("instances", 100, "problem instances per sweep point (paper: 1000)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		maxBFS    = flag.Int("max-bfs", 4, "rings to generate in the Figure-4 exact run")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Instances: *instances, Seed: *seed, Headroom: true}
+	runAll := !*tables && !*ablations && !*trace && !*quality && *fig == 0
+
+	if *tables || runAll {
+		bench.WriteTables(os.Stdout)
+	}
+
+	runFig := func(n int) bool { return runAll || *fig == n }
+
+	if runFig(3) {
+		rows, err := bench.Figure3(*seed)
+		fail(err)
+		bench.WriteFigure3(os.Stdout, rows)
+	}
+	if runFig(4) {
+		pts, err := bench.Figure4(*seed, *maxBFS)
+		fail(err)
+		bench.WriteFigure4(os.Stdout, pts)
+	}
+	sweeps := map[int]func(bench.Options) (bench.Series, error){
+		5: bench.Figure5, 6: bench.Figure6, 7: bench.Figure7,
+		8: bench.Figure8, 9: bench.Figure9, 10: bench.Figure10,
+	}
+	for n := 5; n <= 10; n++ {
+		if !runFig(n) {
+			continue
+		}
+		s, err := sweeps[n](opts)
+		fail(err)
+		bench.WriteSeries(os.Stdout, s)
+	}
+
+	if *ablations || runAll {
+		runAblations(*seed)
+	}
+	if *trace || runAll {
+		runTraceability(*seed)
+	}
+	if *quality || runAll {
+		runQuality(*seed)
+	}
+}
+
+func runQuality(seed int64) {
+	fmt.Println("Approximation quality vs the exact modular optimum (small instances)")
+	pts, err := bench.Quality(60, seed)
+	fail(err)
+	fmt.Printf("  %-6s %10s %10s %10s %12s\n", "algo", "instances", "meanGap", "p95Gap", "optimalRate")
+	for _, p := range pts {
+		fmt.Printf("  %-6s %10d %10.3f %10.3f %11.0f%%\n",
+			p.Approach, p.Instances, p.MeanGap, p.P95Gap, p.OptimalRate*100)
+	}
+	fmt.Println()
+}
+
+func runTraceability(seed int64) {
+	fmt.Println("Traceability: Monero-style SM sampler vs TokenMagic TM_P (exact chain-reaction adversary)")
+	pts, err := bench.Traceability(40, 4, seed)
+	fail(err)
+	for _, p := range pts {
+		fmt.Printf("  %-16s committed=%-3d traced=%-3d htRevealed=%-3d avgAnonymity=%-6.2f provablyConsumed=%d\n",
+			p.Strategy, p.RingsCommitted, p.Traced, p.HTRevealed, p.AvgAnonymity, p.ProvablyConsumed)
+	}
+	fmt.Println()
+}
+
+func runAblations(seed int64) {
+	a1, err := bench.AblationDTRS(50, seed)
+	fail(err)
+	fmt.Printf("Ablation A1: DTRS check, exact Algorithm 3 vs Theorem 6.1 closed form\n")
+	fmt.Printf("  instances=%d  exact=%v  closed=%v  agreement=%d/%d\n\n",
+		a1.Instances, a1.ExactTime, a1.ClosedTime, a1.Agreements, a1.Instances)
+
+	fmt.Printf("Ablation A2: η liveness guard vs selfish fee-minimising users\n")
+	for _, eta := range []float64{0, 0.25, 0.5, 1} {
+		a2, err := bench.AblationEta(eta, seed)
+		fail(err)
+		fmt.Printf("  η=%-5v committed=%-3d cheapSingletons=%-3d forcedDiverse=%-3d stranded=%-2d traced=%-3d provablyConsumed=%d/%d\n",
+			eta, a2.RingsCommitted, a2.CheapCommitted, a2.ForcedDiverse,
+			a2.Stranded, a2.TracedRings, a2.ProvablyConsumed, a2.TokensTotal)
+	}
+	fmt.Println()
+
+	fmt.Printf("Ablation A3: (c, ℓ+1) headroom configuration\n")
+	for _, on := range []bool{true, false} {
+		a3, err := bench.AblationHeadroom(on, 30, seed)
+		fail(err)
+		fmt.Printf("  headroom=%-5v committed=%-3d DTRS violations=%d\n",
+			on, a3.Committed, a3.Violations)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfigures:", err)
+		os.Exit(1)
+	}
+}

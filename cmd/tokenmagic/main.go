@@ -1,0 +1,281 @@
+// Command tokenmagic is the interactive face of the library: generate a
+// data set, select mixins for a token, audit a ledger against the
+// chain-reaction adversary, or inspect batch structure.
+//
+// Usage:
+//
+//	tokenmagic gendata  [-kind real|synthetic|small] [-seed N] [...]
+//	tokenmagic select   [-algo TM_P|TM_G|TM_S|TM_R|TM_B] [-target N] [-c F] [-l N] [-seed N]
+//	tokenmagic audit    [-seed N] [-spends N] [-algo ...] [-naive]
+//	tokenmagic batches  [-lambda N] [-seed N]
+//
+// Every subcommand builds its data set deterministically from -seed, so
+// outputs are reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"tokenmagic/internal/adversary"
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/tokenmagic"
+	"tokenmagic/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gendata":
+		err = cmdGendata(os.Args[2:])
+	case "select":
+		err = cmdSelect(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
+	case "batches":
+		err = cmdBatches(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "lightselect":
+		err = cmdLightSelect(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tokenmagic: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tokenmagic:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tokenmagic <subcommand> [flags]
+
+subcommands:
+  gendata     generate a data set and print its aggregate statistics
+  select      run a DA-MS solver for one consuming token
+  audit       drive spends onto a ledger and run chain-reaction analysis
+  batches     show the TokenMagic batch partition of a generated chain
+  serve       run a full node serving batch data over HTTP
+  lightselect select mixins as a light node against a running full node
+  sim         run the multi-user batch lifecycle simulation
+  snapshot    save a generated data set to a file, or summarise one`)
+}
+
+func loadDataset(kind string, seed int64) (*workload.Dataset, error) {
+	switch kind {
+	case "real":
+		return workload.RealMonero(seed)
+	case "synthetic":
+		p := workload.DefaultSynthetic()
+		p.Seed = seed
+		return workload.Synthetic(p)
+	case "small":
+		return workload.SmallScale(workload.SmallScaleParams{Tokens: 20, HTs: 8, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown data set kind %q (real|synthetic|small)", kind)
+	}
+}
+
+func cmdGendata(args []string) error {
+	fs := flag.NewFlagSet("gendata", flag.ExitOnError)
+	kind := fs.String("kind", "real", "data set kind: real|synthetic|small")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDataset(*kind, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind=%s seed=%d\n", *kind, *seed)
+	fmt.Printf("tokens=%d historicalTxs=%d rings=%d fresh=%d\n",
+		d.Ledger.NumTokens(), d.Ledger.NumTxs(), d.Ledger.NumRS(), len(d.FreshTokens))
+	h := d.OutputHistogram()
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Println("outputs-per-tx histogram:")
+	for _, k := range keys {
+		fmt.Printf("  %3d outputs: %4d txs\n", k, h[k])
+	}
+	return nil
+}
+
+func algoByName(name string) (tokenmagic.Algorithm, error) {
+	switch name {
+	case "TM_P":
+		return tokenmagic.Progressive, nil
+	case "TM_G":
+		return tokenmagic.Game, nil
+	case "TM_S":
+		return tokenmagic.Smallest, nil
+	case "TM_R":
+		return tokenmagic.RandomPick, nil
+	case "TM_B":
+		return tokenmagic.BFS, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (TM_P|TM_G|TM_S|TM_R|TM_B)", name)
+	}
+}
+
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	kind := fs.String("kind", "real", "data set kind: real|synthetic|small")
+	seed := fs.Int64("seed", 1, "random seed")
+	algoName := fs.String("algo", "TM_P", "solver: TM_P|TM_G|TM_S|TM_R|TM_B")
+	target := fs.Int("target", 0, "token id to consume")
+	c := fs.Float64("c", 0.6, "diversity parameter c")
+	l := fs.Int("l", 20, "diversity parameter ℓ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	algo, err := algoByName(*algoName)
+	if err != nil {
+		return err
+	}
+	d, err := loadDataset(*kind, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := tokenmagic.Config{
+		Lambda:    d.Ledger.NumTokens(),
+		Eta:       0,
+		Headroom:  algo != tokenmagic.BFS,
+		Algorithm: algo,
+	}
+	f, err := tokenmagic.New(d.Ledger, cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	req := diversity.Requirement{C: *c, L: *l}
+	start := time.Now()
+	res, err := f.GenerateRS(chain.TokenID(*target), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algo=%s target=t%d requirement=%v\n", algo, *target, req)
+	fmt.Printf("ring size=%d modules=%d iterations=%d time=%v\n",
+		res.Size(), res.Modules, res.Iterations, elapsed)
+	fmt.Printf("tokens=%v\n", res.Tokens)
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	kind := fs.String("kind", "synthetic", "data set kind: real|synthetic|small")
+	seed := fs.Int64("seed", 1, "random seed")
+	algoName := fs.String("algo", "TM_P", "solver for spends")
+	spends := fs.Int("spends", 15, "number of spend attempts")
+	c := fs.Float64("c", 1, "diversity parameter c")
+	l := fs.Int("l", 3, "diversity parameter ℓ")
+	naive := fs.Bool("naive", false, "use naive random fixed-size rings instead of TokenMagic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	algo, err := algoByName(*algoName)
+	if err != nil {
+		return err
+	}
+	d, err := loadDataset(*kind, *seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	req := diversity.Requirement{C: *c, L: *l}
+
+	committed, failed := 0, 0
+	if *naive {
+		// Naive wallet: pick ring-size-3 rings uniformly at random,
+		// ignoring diversity, overlap and chain-reaction structure.
+		for i := 0; i < *spends; i++ {
+			toks := chain.NewTokenSet(
+				d.Universe[rng.Intn(len(d.Universe))],
+				d.Universe[rng.Intn(len(d.Universe))],
+				d.Universe[rng.Intn(len(d.Universe))])
+			if _, err := d.Ledger.AppendRS(toks, req.C, req.L); err != nil {
+				failed++
+				continue
+			}
+			committed++
+		}
+	} else {
+		cfg := tokenmagic.Config{
+			Lambda:    d.Ledger.NumTokens(),
+			Eta:       0.1,
+			Headroom:  true,
+			Algorithm: algo,
+		}
+		f, err := tokenmagic.New(d.Ledger, cfg, rng)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *spends; i++ {
+			target := d.Universe[rng.Intn(len(d.Universe))]
+			if _, _, err := f.GenerateAndCommit(target, req); err != nil {
+				failed++
+				continue
+			}
+			committed++
+		}
+	}
+
+	a := adversary.ChainReaction(d.Ledger.Rings(), nil, d.Origin())
+	m := adversary.Summarise(a)
+	fmt.Printf("mode=%s committed=%d failed=%d\n", map[bool]string{true: "naive", false: *algoName}[*naive], committed, failed)
+	fmt.Printf("rings=%d traced=%d htRevealed=%d avgAnonymity=%.2f provablyConsumed=%d\n",
+		m.Rings, m.Traced, m.HTRevealed, m.AvgAnonymity, m.ConsumedTokens)
+	return nil
+}
+
+func cmdBatches(args []string) error {
+	fs := flag.NewFlagSet("batches", flag.ExitOnError)
+	blocks := fs.Int("blocks", 12, "blocks to mint")
+	txPerBlock := fs.Int("tx", 6, "transactions per block")
+	outPerTx := fs.Int("out", 2, "outputs per transaction")
+	lambda := fs.Int("lambda", 30, "batch size parameter λ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l := chain.NewLedger()
+	for b := 0; b < *blocks; b++ {
+		id := l.BeginBlock()
+		for t := 0; t < *txPerBlock; t++ {
+			if _, err := l.AddTx(id, *outPerTx); err != nil {
+				return err
+			}
+		}
+	}
+	bl, err := chain.BuildBatches(l, *lambda)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blocks=%d tokens=%d λ=%d → %d batches\n", l.NumBlocks(), l.NumTokens(), *lambda, bl.Len())
+	for i := 0; i < bl.Len(); i++ {
+		b, err := bl.Batch(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  batch %2d: blocks [%v, %v], %d tokens\n", b.Index, b.FirstBlock, b.LastBlock, len(b.Tokens))
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tokenmagic/internal/batchsvc"
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/selector"
+)
+
+// cmdServe runs a full node: it generates (or could load) a chain and serves
+// the batch protocol on -addr until killed.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	kind := fs.String("kind", "real", "data set kind: real|synthetic|small")
+	seed := fs.Int64("seed", 1, "random seed")
+	lambda := fs.Int("lambda", 800, "batch size parameter λ")
+	addr := fs.String("addr", "127.0.0.1:8791", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDataset(*kind, *seed)
+	if err != nil {
+		return err
+	}
+	srv, err := batchsvc.NewServer(d.Ledger, *lambda)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full node: %s data set (%d tokens, %d rings), λ=%d, serving on http://%s\n",
+		*kind, d.Ledger.NumTokens(), d.Ledger.NumRS(), *lambda, *addr)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return hs.ListenAndServe()
+}
+
+// cmdLightSelect acts as a light node: fetch the target token's batch and
+// rings from a full node, then run mixin selection locally with no chain
+// state.
+func cmdLightSelect(args []string) error {
+	fs := flag.NewFlagSet("lightselect", flag.ExitOnError)
+	node := fs.String("node", "http://127.0.0.1:8791", "full node base URL")
+	target := fs.Int("target", 0, "token id to consume")
+	c := fs.Float64("c", 0.6, "diversity parameter c")
+	l := fs.Int("l", 20, "diversity parameter ℓ")
+	algoName := fs.String("algo", "TM_P", "solver: TM_P|TM_G|TM_S")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := batchsvc.NewClient(*node, nil)
+
+	meta, err := client.Meta()
+	if err != nil {
+		return err
+	}
+	batch, err := client.BatchOf(chain.TokenID(*target))
+	if err != nil {
+		return err
+	}
+	ringInfos, err := client.Rings(batch.Index)
+	if err != nil {
+		return err
+	}
+	records := batchsvc.Records(ringInfos)
+	supers, fresh := selector.Decompose(records, batch.Tokens)
+	req := diversity.Requirement{C: *c, L: *l}
+	p, err := selector.NewProblem(chain.TokenID(*target), supers, fresh, batch.Origin(), req.WithHeadroom())
+	if err != nil {
+		return err
+	}
+	var res selector.Result
+	switch *algoName {
+	case "TM_P":
+		res, err = selector.Progressive(p)
+	case "TM_G":
+		res, err = selector.Game(p)
+	case "TM_S":
+		res, err = selector.Smallest(p)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("light node against %s (chain: %d tokens, %d batches)\n", *node, meta.Tokens, meta.Batches)
+	fmt.Printf("batch %d holds %d tokens, %d related rings\n", batch.Index, len(batch.Tokens), len(ringInfos))
+	fmt.Printf("algo=%s ring size=%d tokens=%v\n", *algoName, res.Size(), res.Tokens)
+	return nil
+}

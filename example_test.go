@@ -1,0 +1,68 @@
+package tokenmagic_test
+
+import (
+	"errors"
+	"fmt"
+
+	"tokenmagic"
+)
+
+// The minimal end-to-end flow: mint, seal, spend, audit.
+func Example() {
+	sys := tokenmagic.NewSystem(tokenmagic.Options{DisableSigning: true})
+	ids, _ := sys.MintBlock(2, 2, 2, 2, 2, 2)
+	_ = sys.Seal()
+
+	receipt, err := sys.Spend(ids[0], tokenmagic.Requirement{C: 1, L: 3})
+	if err != nil {
+		fmt.Println("spend failed:", err)
+		return
+	}
+	// The default headroom configuration solves for ℓ+1 = 4 distinct
+	// source transactions, so the ring holds the spent token plus mixins
+	// spanning four transactions.
+	fmt.Println("ring spans at least 4 tokens:", len(receipt.Tokens) >= 4)
+	fmt.Println("contains spent token:", receipt.Tokens.Contains(ids[0]))
+
+	report := sys.Audit()
+	fmt.Println("traced rings:", report.TracedRings)
+	// Output:
+	// ring spans at least 4 tokens: true
+	// contains spent token: true
+	// traced rings: 0
+}
+
+// Double spends are rejected deterministically.
+func ExampleSystem_Spend_doubleSpend() {
+	sys := tokenmagic.NewSystem(tokenmagic.Options{DisableSigning: true})
+	ids, _ := sys.MintBlock(2, 2, 2, 2, 2, 2)
+	_ = sys.Seal()
+	req := tokenmagic.Requirement{C: 1, L: 3}
+
+	if _, err := sys.Spend(ids[0], req); err != nil {
+		fmt.Println("unexpected:", err)
+		return
+	}
+	_, err := sys.Spend(ids[0], req)
+	fmt.Println("second spend rejected:", errors.Is(err, tokenmagic.ErrDoubleSpend))
+	// Output:
+	// second spend rejected: true
+}
+
+// When a requirement is unsatisfiable, SpendRelaxed walks the Section-4
+// relaxation ladder and reports the requirement it actually achieved.
+func ExampleSystem_SpendRelaxed() {
+	sys := tokenmagic.NewSystem(tokenmagic.Options{DisableSigning: true, DisableHeadroom: true})
+	ids, _ := sys.MintBlock(2, 2, 2) // only 3 source transactions
+	_ = sys.Seal()
+
+	// With c = 1, ℓ = 3 needs q₁ < q₃ — impossible over three source
+	// transactions — so the ladder settles at ℓ = 2.
+	strict := tokenmagic.Requirement{C: 1, L: 5}
+	_, achieved, err := sys.SpendRelaxed(ids[0], strict, tokenmagic.RelaxationPolicy{LStep: 1})
+	fmt.Println("spend succeeded:", err == nil)
+	fmt.Println("achieved l:", achieved.L)
+	// Output:
+	// spend succeeded: true
+	// achieved l: 2
+}

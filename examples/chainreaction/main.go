@@ -1,0 +1,118 @@
+// Chain-reaction attack demo: what the paper defends against, shown live.
+//
+// A naive wallet picks mixins uniformly at random with a small fixed ring
+// size and no awareness of other rings. Because every token can be consumed
+// only once, an adversary can cascade: whenever k rings jointly cover
+// exactly k tokens, all of those tokens are provably spent and can be
+// eliminated from every other ring — sometimes collapsing a ring to a single
+// candidate (full deanonymisation) or to candidates from one historical
+// transaction (homogeneity attack).
+//
+// The same workload driven through TokenMagic's diversity-aware selection
+// leaves the adversary with nothing.
+//
+//	go run ./examples/chainreaction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tokenmagic"
+)
+
+const (
+	sourceTxs = 20
+	spends    = 24
+	naiveRing = 3
+)
+
+func main() {
+	naive()
+	protected()
+}
+
+// mint creates the shared workload: 20 two-output transactions.
+func mint(seed int64, opts tokenmagic.Options) (*tokenmagic.System, []tokenmagic.TokenID) {
+	opts.Seed = seed
+	opts.DisableSigning = true
+	sys := tokenmagic.NewSystem(opts)
+	outs := make([]int, sourceTxs)
+	for i := range outs {
+		outs[i] = 2
+	}
+	ids, err := sys.MintBlock(outs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Seal(); err != nil {
+		log.Fatal(err)
+	}
+	return sys, ids
+}
+
+func naive() {
+	sys, ids := mint(5, tokenmagic.Options{})
+	rng := rand.New(rand.NewSource(5))
+	req := tokenmagic.Requirement{C: 1, L: 1} // the naive wallet claims nothing
+
+	spentSet := map[tokenmagic.TokenID]bool{}
+	committed := 0
+	for i := 0; i < spends; i++ {
+		// Pick an unspent token to consume and 2 random mixins; tiny rings
+		// with heavy reuse are exactly what real traced coins looked like.
+		var target tokenmagic.TokenID = -1
+		for _, t := range ids {
+			if !spentSet[t] {
+				target = t
+				break
+			}
+		}
+		if target < 0 {
+			break
+		}
+		ring := tokenmagic.NewTokenSet(
+			target,
+			ids[rng.Intn(8)], // mixins drawn from a small "popular" window
+			ids[rng.Intn(8)],
+		)
+		if len(ring) < naiveRing {
+			continue // collision; a sloppy wallet would retry, we just skip
+		}
+		if _, err := sys.CommitRaw(ring, req); err != nil {
+			continue
+		}
+		spentSet[target] = true
+		committed++
+	}
+
+	rep := sys.Audit()
+	fmt.Println("naive wallet (fixed ring size 3, popular-window mixins):")
+	fmt.Printf("  %d rings committed\n", committed)
+	fmt.Printf("  adversary traces %d rings outright, learns the source tx of %d\n",
+		rep.TracedRings, rep.HTRevealedRings)
+	fmt.Printf("  %d tokens provably consumed, avg anonymity set %.2f\n\n",
+		rep.ProvablyConsumed, rep.AvgAnonymitySet)
+}
+
+func protected() {
+	sys, ids := mint(5, tokenmagic.Options{Algorithm: tokenmagic.Progressive})
+	req := tokenmagic.Requirement{C: 1, L: 3}
+
+	committed := 0
+	for i := 0; i < spends; i++ {
+		if _, err := sys.Spend(ids[i%len(ids)], req); err != nil {
+			continue // double spends and guarded rejections just skip
+		}
+		committed++
+	}
+
+	rep := sys.Audit()
+	fmt.Println("TokenMagic wallet (TM_P, recursive (1,3)-diversity, η guard):")
+	fmt.Printf("  %d rings committed\n", committed)
+	fmt.Printf("  adversary traces %d rings, learns the source tx of %d\n",
+		rep.TracedRings, rep.HTRevealedRings)
+	fmt.Printf("  %d tokens provably consumed, avg anonymity set %.2f\n",
+		rep.ProvablyConsumed, rep.AvgAnonymitySet)
+}

@@ -1,0 +1,3 @@
+module tokenmagic
+
+go 1.22

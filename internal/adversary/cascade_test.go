@@ -1,0 +1,134 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/rsgraph"
+)
+
+func TestCascadeMatchesExactOnSimpleChains(t *testing.T) {
+	rings := []chain.RingRecord{
+		rec(0, 1, 2),
+		rec(1, 1, 2),
+		rec(2, 2, 3),
+	}
+	origin := originOf(map[chain.TokenID]chain.TxID{1: 10, 2: 20, 3: 30})
+	c := Cascade(rings, nil, origin)
+	e := ChainReaction(rings, nil, origin)
+	if !c.Consumed.Equal(e.Consumed) {
+		t.Fatalf("cascade consumed %v, exact %v", c.Consumed, e.Consumed)
+	}
+	if !c.Observations[2].Traced || c.Observations[2].Remaining[0] != 3 {
+		t.Fatalf("cascade should trace r2 to t3: %+v", c.Observations[2])
+	}
+}
+
+func TestCascadeNestedChain(t *testing.T) {
+	rings := []chain.RingRecord{rec(0, 1), rec(1, 1, 2), rec(2, 1, 2, 3)}
+	origin := originOf(map[chain.TokenID]chain.TxID{1: 1, 2: 2, 3: 3})
+	a := Cascade(rings, nil, origin)
+	for i, want := range []chain.TokenID{1, 2, 3} {
+		o := a.Observations[i]
+		if !o.Traced || o.Remaining[0] != want {
+			t.Fatalf("ring %d should trace to %v: %+v", i, want, o)
+		}
+	}
+}
+
+func TestCascadeSideInfo(t *testing.T) {
+	rings := []chain.RingRecord{rec(0, 1, 2), rec(1, 2, 3)}
+	origin := originOf(map[chain.TokenID]chain.TxID{1: 1, 2: 2, 3: 3})
+	a := Cascade(rings, SideInfo{0: 2}, origin)
+	if o := a.Observations[1]; !o.Traced || o.Remaining[0] != 3 {
+		t.Fatalf("r1 should cascade to t3: %+v", o)
+	}
+}
+
+// Exact analysis dominates the cascade: the cascade never eliminates more
+// than matching feasibility allows, so each exact Remaining ⊆ each cascade
+// Remaining and cascade Consumed ⊆ exact Consumed.
+func TestExactDominatesCascade(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nTok := 3 + r.Intn(5)
+		nRing := 1 + r.Intn(4)
+		var rings []chain.RingRecord
+		for i := 0; i < nRing; i++ {
+			var toks []chain.TokenID
+			for len(toks) == 0 {
+				for tk := 0; tk < nTok; tk++ {
+					if r.Intn(2) == 0 {
+						toks = append(toks, chain.TokenID(tk))
+					}
+				}
+			}
+			rings = append(rings, rec(i, toks...))
+		}
+		if !rsgraph.FromRecords(rings).HasAssignment() {
+			return true // degenerate: both report originals
+		}
+		origin := func(t chain.TokenID) chain.TxID { return chain.TxID(t % 3) }
+		c := Cascade(rings, nil, origin)
+		e := ChainReaction(rings, nil, origin)
+		if !c.Consumed.SubsetOf(e.Consumed) {
+			return false
+		}
+		for i := range rings {
+			if !e.Observations[i].Remaining.SubsetOf(c.Observations[i].Remaining) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvablyConsumedExact(t *testing.T) {
+	// K3,3-ish saturated instance: 3 rings over {1,2,3} → all consumed.
+	in := rsgraph.NewInstance([]rsgraph.Ring{
+		{ID: 0, Tokens: chain.NewTokenSet(1, 2, 3)},
+		{ID: 1, Tokens: chain.NewTokenSet(1, 2, 3)},
+		{ID: 2, Tokens: chain.NewTokenSet(1, 2, 3)},
+	})
+	if got := in.ProvablyConsumed(); !got.Equal(chain.NewTokenSet(1, 2, 3)) {
+		t.Fatalf("ProvablyConsumed = %v", got)
+	}
+	// Two rings over three tokens: nothing individually provable? r0={1,2},
+	// r1={2,3}: banning 1 → r0 takes 2, r1 takes 3: feasible. Banning 2 →
+	// r0 takes 1, r1 takes 3: feasible. Banning 3 → r1 takes 2, r0 takes 1:
+	// feasible. Nothing provable.
+	in = rsgraph.NewInstance([]rsgraph.Ring{
+		{ID: 0, Tokens: chain.NewTokenSet(1, 2)},
+		{ID: 1, Tokens: chain.NewTokenSet(2, 3)},
+	})
+	if got := in.ProvablyConsumed(); len(got) != 0 {
+		t.Fatalf("ProvablyConsumed = %v, want empty", got)
+	}
+	// Infeasible instance proves nothing.
+	in = rsgraph.NewInstance([]rsgraph.Ring{
+		{ID: 0, Tokens: chain.NewTokenSet(1)},
+		{ID: 1, Tokens: chain.NewTokenSet(1)},
+	})
+	if got := in.ProvablyConsumed(); got != nil {
+		t.Fatalf("infeasible instance should prove nothing, got %v", got)
+	}
+}
+
+func TestChainReactionInfeasibleReportsOriginals(t *testing.T) {
+	rings := []chain.RingRecord{rec(0, 1), rec(1, 1)}
+	origin := originOf(map[chain.TokenID]chain.TxID{1: 1})
+	a := ChainReaction(rings, nil, origin)
+	for i := range rings {
+		if !a.Observations[i].Remaining.Equal(rings[i].Tokens) {
+			t.Fatalf("obs %d = %+v, want original tokens", i, a.Observations[i])
+		}
+	}
+	if len(a.Consumed) != 0 {
+		t.Fatalf("Consumed = %v, want empty", a.Consumed)
+	}
+}

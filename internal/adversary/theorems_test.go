@@ -1,0 +1,172 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/rsgraph"
+)
+
+func TestSideInfoThreshold(t *testing.T) {
+	origin := originOf(map[chain.TokenID]chain.TxID{1: 1, 2: 1, 3: 2, 4: 3})
+	// Ring {1,2,3,4}: q_M = 2 (h1 twice), |r| = 4 → threshold 2.
+	if got := SideInfoThreshold(chain.NewTokenSet(1, 2, 3, 4), origin); got != 2 {
+		t.Fatalf("threshold = %d, want 2", got)
+	}
+	// Fully uniform ring: threshold |r| − 1.
+	uni := originOf(map[chain.TokenID]chain.TxID{1: 1, 2: 2, 3: 3})
+	if got := SideInfoThreshold(chain.NewTokenSet(1, 2, 3), uni); got != 2 {
+		t.Fatalf("uniform threshold = %d, want 2", got)
+	}
+	// Homogeneous ring: threshold 0 — any adversary already knows the HT.
+	homo := originOf(map[chain.TokenID]chain.TxID{1: 7, 2: 7})
+	if got := SideInfoThreshold(chain.NewTokenSet(1, 2), homo); got != 0 {
+		t.Fatalf("homogeneous threshold = %d, want 0", got)
+	}
+}
+
+// Theorem 6.2, empirically: reveal fewer than |r|−q_M pairs of OTHER rings
+// and the target ring's HT must stay ambiguous under exact analysis.
+// Construct instances where every other ring shares one token with the
+// target (the strongest revelation pattern) and check the bound holds.
+func TestTheorem62Empirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		// Target ring of size 4-6 with ≥2 distinct HTs.
+		size := 4 + rng.Intn(3)
+		nHT := 2 + rng.Intn(size-1)
+		hts := make(map[chain.TokenID]chain.TxID)
+		var target chain.TokenSet
+		for i := 0; i < size; i++ {
+			tok := chain.TokenID(i)
+			hts[tok] = chain.TxID(i % nHT)
+			target = target.Add(tok)
+		}
+		origin := originOf(hts)
+		threshold := SideInfoThreshold(target, origin)
+		if threshold == 0 {
+			continue
+		}
+
+		// Other rings: ring i pairs target token i with a private token, so
+		// revealing <token_i, ring_i> eliminates token i from the target.
+		rings := []chain.RingRecord{{ID: 0, Tokens: target, Pos: 0}}
+		for i := 0; i < size; i++ {
+			priv := chain.TokenID(100 + i)
+			hts[priv] = chain.TxID(50 + i)
+			rings = append(rings, chain.RingRecord{
+				ID:     chain.RSID(i + 1),
+				Tokens: chain.NewTokenSet(chain.TokenID(i), priv),
+				Pos:    i + 1,
+			})
+		}
+
+		// Reveal threshold−1 pairs: strictly fewer than the bound.
+		si := SideInfo{}
+		for i := 0; i < threshold-1; i++ {
+			si[chain.RSID(i+1)] = chain.TokenID(i)
+		}
+		a := ChainReaction(rings, si, origin)
+		if a.Observations[0].HTKnown {
+			t.Fatalf("trial %d: HT revealed with %d < %d side-info pairs (ring %v)",
+				trial, len(si), threshold, target)
+		}
+	}
+}
+
+// Theorem 6.3, empirically: publishing a new ring that is disjoint from an
+// existing ring r', or a superset of it, never lets the adversary newly
+// confirm r”s consumed token.
+func TestTheorem63Empirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		// Base instance: a few disjoint rings (configuration-compliant).
+		var rings []chain.RingRecord
+		next := chain.TokenID(0)
+		hts := make(map[chain.TokenID]chain.TxID)
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			var toks []chain.TokenID
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				hts[next] = chain.TxID(rng.Intn(5))
+				toks = append(toks, next)
+				next++
+			}
+			rings = append(rings, chain.RingRecord{ID: chain.RSID(i), Tokens: chain.NewTokenSet(toks...), Pos: i})
+		}
+		origin := originOf(hts)
+		before := ChainReaction(rings, nil, origin)
+
+		// New ring: superset of ring 0 plus fresh tokens, or fully fresh.
+		var newTokens chain.TokenSet
+		if rng.Intn(2) == 0 {
+			newTokens = rings[0].Tokens
+		}
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			hts[next] = chain.TxID(rng.Intn(5))
+			newTokens = newTokens.Add(next)
+			next++
+		}
+		after := ChainReaction(append(append([]chain.RingRecord{}, rings...),
+			chain.RingRecord{ID: chain.RSID(len(rings)), Tokens: newTokens, Pos: len(rings)}), nil, origin)
+
+		for i := range rings {
+			wasTraced := before.Observations[i].Traced
+			nowTraced := after.Observations[i].Traced
+			if !wasTraced && nowTraced {
+				t.Fatalf("trial %d: ring %d newly traced after config-compliant publication", trial, i)
+			}
+		}
+	}
+}
+
+// The exact chain-reaction analysis over configuration-compliant ledgers
+// (disjoint or nested rings only) matches the greedy cascade — the expensive
+// machinery is only needed off the happy path.
+func TestCascadeMatchesExactUnderConfiguration(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		var rings []chain.RingRecord
+		next := chain.TokenID(0)
+		hts := make(map[chain.TokenID]chain.TxID)
+		var regions []chain.TokenSet
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			var toks []chain.TokenID
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				hts[next] = chain.TxID(rng.Intn(4))
+				toks = append(toks, next)
+				next++
+			}
+			regions = append(regions, chain.NewTokenSet(toks...))
+		}
+		id := 0
+		for _, reg := range regions {
+			rings = append(rings, chain.RingRecord{ID: chain.RSID(id), Tokens: reg, Pos: id})
+			id++
+			// Possibly a superset ring of the region.
+			if rng.Intn(2) == 0 {
+				grown := reg
+				hts[next] = chain.TxID(rng.Intn(4))
+				grown = grown.Add(next)
+				next++
+				rings = append(rings, chain.RingRecord{ID: chain.RSID(id), Tokens: grown, Pos: id})
+				id++
+			}
+		}
+		origin := originOf(hts)
+		if !rsgraph.FromRecords(rings).HasAssignment() {
+			continue
+		}
+		exact := ChainReaction(rings, nil, origin)
+		casc := Cascade(rings, nil, origin)
+		if !exact.Consumed.Equal(casc.Consumed) {
+			t.Fatalf("trial %d: consumed differ: exact %v cascade %v", trial, exact.Consumed, casc.Consumed)
+		}
+		for i := range rings {
+			if !exact.Observations[i].Remaining.Equal(casc.Observations[i].Remaining) {
+				t.Fatalf("trial %d ring %d: exact %v cascade %v", trial, i,
+					exact.Observations[i].Remaining, casc.Observations[i].Remaining)
+			}
+		}
+	}
+}

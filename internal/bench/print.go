@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSeries prints a series as two aligned tables — (a) average ring size
+// and (b) average running time — matching the paper's (a)/(b) sub-figure
+// layout.
+func WriteSeries(w io.Writer, s Series) {
+	fmt.Fprintf(w, "%s\n", s.Name)
+	fmt.Fprintf(w, "(a) average ring size\n")
+	writeHeader(w, s.XLabel)
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%10.2f", p.X)
+		for _, a := range Approaches {
+			c := p.Cells[a.String()]
+			if c.AvgSize == 0 && c.Failures > 0 {
+				fmt.Fprintf(w, " %11s", "-")
+			} else {
+				fmt.Fprintf(w, " %11.1f", c.AvgSize)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(b) average running time\n")
+	writeHeader(w, s.XLabel)
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%10.2f", p.X)
+		for _, a := range Approaches {
+			c := p.Cells[a.String()]
+			fmt.Fprintf(w, " %11s", fmtDuration(c.AvgTime))
+		}
+		fmt.Fprintln(w)
+	}
+	failures := 0
+	for _, p := range s.Points {
+		for _, a := range Approaches {
+			failures += p.Cells[a.String()].Failures
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "(ineligible instances across all points/approaches: %d)\n", failures)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeHeader(w io.Writer, xLabel string) {
+	fmt.Fprintf(w, "%10s", xLabel)
+	for _, a := range Approaches {
+		fmt.Fprintf(w, " %11s", a.String())
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFigure3 prints the output-count histogram.
+func WriteFigure3(w io.Writer, rows [][2]int) {
+	fmt.Fprintln(w, "Figure 3: distribution of #output tokens per transaction (real)")
+	fmt.Fprintf(w, "%10s %12s\n", "#outputs", "#txs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %12d\n", r[0], r[1])
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFigure4 prints per-ring exact-solver timings.
+func WriteFigure4(w io.Writer, pts []Figure4Point) {
+	fmt.Fprintln(w, "Figure 4: running time of the i-th RS under TM_B (20 tokens, recursive (5,3)-diversity)")
+	fmt.Fprintf(w, "%6s %14s %8s %8s\n", "i", "time", "size", "capped")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%6d %14s %8d %8v\n", p.I, fmtDuration(p.Elapsed), p.Size, p.Capped)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTables prints Tables 2 and 3 (experiment settings, defaults marked).
+func WriteTables(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: experimental settings (real)")
+	for _, s := range Table2() {
+		writeSetting(w, s)
+	}
+	fmt.Fprintln(w, "Table 3: experimental settings (synthetic)")
+	for _, s := range Table3() {
+		writeSetting(w, s)
+	}
+	fmt.Fprintf(w, "  super size ranges: %v (default [10,20])\n\n", SuperSizeRanges)
+}
+
+func writeSetting(w io.Writer, s Setting) {
+	fmt.Fprintf(w, "  %-14s", s.Name)
+	for _, v := range s.Values {
+		if v == s.Default {
+			fmt.Fprintf(w, " [%g]", v)
+		} else {
+			fmt.Fprintf(w, " %g", v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Timer measures one operation for ad-hoc harness use.
+func Timer(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"tokenmagic/internal/tokenmagic"
+)
+
+func TestQualityExperiment(t *testing.T) {
+	pts, err := Quality(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Approaches) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byName := map[string]QualityPoint{}
+	for _, p := range pts {
+		byName[p.Approach] = p
+		if p.Instances == 0 {
+			t.Fatalf("%s measured no instances", p.Approach)
+		}
+		// A gap below 1 would mean a heuristic beat the exact optimum.
+		if p.MeanGap < 1-1e-9 {
+			t.Fatalf("%s mean gap %v < 1", p.Approach, p.MeanGap)
+		}
+		if p.P95Gap < p.MeanGap-1e-9 && p.Instances > 3 {
+			t.Fatalf("%s P95 %v below mean %v", p.Approach, p.P95Gap, p.MeanGap)
+		}
+	}
+	// The paper's algorithms should be nearer the optimum than random picks
+	// on average.
+	tmg := byName[tokenmagic.Game.String()]
+	tmr := byName[tokenmagic.RandomPick.String()]
+	if tmg.MeanGap > tmr.MeanGap+0.25 {
+		t.Fatalf("TM_G mean gap %v much worse than TM_R %v", tmg.MeanGap, tmr.MeanGap)
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"math/rand"
+
+	"tokenmagic/internal/adversary"
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/selector"
+	"tokenmagic/internal/tokenmagic"
+	"tokenmagic/internal/workload"
+)
+
+// TraceabilityPoint is one measured strategy in the traceability
+// experiment.
+type TraceabilityPoint struct {
+	Strategy         string
+	RingsCommitted   int
+	Traced           int
+	HTRevealed       int
+	AvgAnonymity     float64
+	ProvablyConsumed int
+}
+
+// Traceability is the motivation experiment behind the whole paper: drive
+// the same consumption workload (a sequence of spends over one batch) with
+// (a) the Monero-style SM sampler with ring size ζ, and (b) TokenMagic with
+// TM_P, then run the exact chain-reaction adversary over each resulting
+// ledger. The SM sampler's small overlapping rings become traceable as
+// consumption progresses; TokenMagic's configuration-compliant rings do
+// not.
+func Traceability(spends, zeta int, seed int64) ([]TraceabilityPoint, error) {
+	var out []TraceabilityPoint
+
+	// Shared workload shape: a fresh synthetic batch per strategy (same
+	// seed → identical tokens and HTs), spending the first `spends` tokens.
+	// The pool is sized so the spend sequence consumes most of it — the
+	// regime in which real Monero outputs became traceable (Möser et al.):
+	// as the unspent fraction shrinks, small random rings increasingly
+	// contain only already-spent decoys.
+	poolSize := spends + spends/4 + zeta
+	makeDataset := func() (*workload.Dataset, error) {
+		p := workload.SyntheticParams{
+			NumSupers:    0, // virgin batch: all tokens fresh
+			SuperSizeMin: 1,
+			SuperSizeMax: 1,
+			NumFresh:     poolSize,
+			Sigma:        6,
+			Seed:         seed,
+		}
+		return workload.Synthetic(p)
+	}
+
+	// Strategy (a): Monero-style SM, with the historical wart that made the
+	// chain-reaction attack devastating in practice (Möser et al.): a
+	// fraction of users minimise fees with zero-mixin (ring size 1)
+	// spends, and those exposed tokens poison every ring that later picks
+	// them as decoys.
+	{
+		d, err := makeDataset()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		half := len(d.Universe) / 2
+		params := selector.MoneroParams{
+			Zeta:   zeta,
+			Recent: d.Universe[half:].Clone(),
+			Older:  d.Universe[:half].Clone(),
+		}
+		committed := 0
+		for i := 0; i < spends && i < len(d.Universe); i++ {
+			target := d.Universe[i]
+			var ring chain.TokenSet
+			if i%5 < 2 { // 40% fee minimisers: zero mixins
+				ring = chain.NewTokenSet(target)
+			} else {
+				res, err := selector.MoneroSample(target, params, rng)
+				if err != nil {
+					continue
+				}
+				ring = res.Tokens
+			}
+			if _, err := d.Ledger.AppendRS(ring, 1, 1); err != nil {
+				return nil, err
+			}
+			committed++
+		}
+		out = append(out, summarisePoint("Monero_SM", committed, d))
+	}
+
+	// Strategy (b): TokenMagic TM_P.
+	{
+		d, err := makeDataset()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cfg := tokenmagic.Config{
+			Lambda:    d.Ledger.NumTokens(),
+			Eta:       0.1,
+			Headroom:  true,
+			Algorithm: tokenmagic.Progressive,
+		}
+		f, err := tokenmagic.New(d.Ledger, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		req := diversity.Requirement{C: 1, L: 3}
+		committed := 0
+		for i := 0; i < spends && i < len(d.Universe); i++ {
+			if _, _, err := f.GenerateAndCommit(d.Universe[i], req); err != nil {
+				continue
+			}
+			committed++
+		}
+		out = append(out, summarisePoint("TokenMagic_TM_P", committed, d))
+	}
+	return out, nil
+}
+
+func summarisePoint(name string, committed int, d *workload.Dataset) TraceabilityPoint {
+	a := adversary.ChainReaction(d.Ledger.Rings(), nil, d.Origin())
+	m := adversary.Summarise(a)
+	return TraceabilityPoint{
+		Strategy:         name,
+		RingsCommitted:   committed,
+		Traced:           m.Traced,
+		HTRevealed:       m.HTRevealed,
+		AvgAnonymity:     m.AvgAnonymity,
+		ProvablyConsumed: m.ConsumedTokens,
+	}
+}
+
+// SideInfoResilience measures Theorem 6.2 empirically over committed rings:
+// for each ring, the number of revealed pairs an adversary needs before the
+// exact analysis pins the ring's HT, compared with the theorem's bound
+// |r| − q_M. Rings the adversary never pins (even after revealing a pair of
+// every other ring) are counted in measured but do not lower minObserved —
+// they are maximally resilient. minObserved is −1 when no ring was ever
+// pinned.
+func SideInfoResilience(rings []chain.RingRecord, origin func(chain.TokenID) chain.TxID) (minObserved, minBound, measured int) {
+	minObserved, minBound = -1, -1
+	for _, r := range rings {
+		bound := adversary.SideInfoThreshold(r.Tokens, origin)
+		if minBound == -1 || bound < minBound {
+			minBound = bound
+		}
+		measured++
+		// Observed: reveal other rings' pairs one at a time (greedy, in id
+		// order) until the target ring's HT becomes known.
+		si := adversary.SideInfo{}
+		observed := 0
+		pinned := false
+		for {
+			a := adversary.ChainReaction(rings, si, origin)
+			for _, o := range a.Observations {
+				if o.Ring == r.ID && o.HTKnown {
+					pinned = true
+					break
+				}
+			}
+			if pinned {
+				break
+			}
+			// Reveal one more pair, if any ring remains unrevealed.
+			revealed := false
+			for _, other := range rings {
+				if other.ID == r.ID {
+					continue
+				}
+				if _, done := si[other.ID]; done {
+					continue
+				}
+				si[other.ID] = other.Tokens[0]
+				observed++
+				revealed = true
+				break
+			}
+			if !revealed {
+				break // adversary exhausted: ring is resilient
+			}
+		}
+		if pinned && (minObserved == -1 || observed < minObserved) {
+			minObserved = observed
+		}
+	}
+	return minObserved, minBound, measured
+}

@@ -1,0 +1,93 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Batch is one TokenMagic partition of the chain: a contiguous run of blocks
+// whose token count first reaches the system parameter λ. Mixins for a token
+// are selected only within the batch the token was generated in, which keeps
+// the related-RS set of every ring bounded by the batch's token count
+// (Section 4 of the paper).
+type Batch struct {
+	Index      int
+	FirstBlock BlockID
+	LastBlock  BlockID
+	Tokens     TokenSet
+}
+
+// BatchList is the full, disjoint, sequential partition of a ledger's blocks.
+type BatchList struct {
+	Lambda  int
+	batches []Batch
+	// byToken[t] = index of batch containing token t.
+	byToken []int
+}
+
+// ErrBadLambda is returned when the batch size parameter is not positive.
+var ErrBadLambda = errors.New("chain: batch parameter λ must be positive")
+
+// BuildBatches scans blocks in ascending order and closes a batch as soon as
+// it holds at least λ tokens, exactly as Section 4 describes. The final batch
+// may hold fewer than λ tokens; Liveness accounting treats its |T| as
+// λ+λ'−1 (see tokenmagic.Liveness).
+func BuildBatches(l *Ledger, lambda int) (*BatchList, error) {
+	if lambda <= 0 {
+		return nil, ErrBadLambda
+	}
+	bl := &BatchList{Lambda: lambda, byToken: make([]int, l.NumTokens())}
+	cur := Batch{Index: 0, FirstBlock: 0}
+	count := 0
+	flush := func(last BlockID) {
+		cur.LastBlock = last
+		bl.batches = append(bl.batches, cur)
+		cur = Batch{Index: len(bl.batches), FirstBlock: last + 1}
+		count = 0
+	}
+	for b := 0; b < l.NumBlocks(); b++ {
+		blockTokens := l.TokensInBlocks(BlockID(b), BlockID(b))
+		for _, t := range blockTokens {
+			bl.byToken[t] = cur.Index
+		}
+		cur.Tokens = cur.Tokens.Union(blockTokens)
+		count += len(blockTokens)
+		if count >= lambda {
+			flush(BlockID(b))
+		}
+	}
+	if count > 0 || len(bl.batches) == 0 {
+		cur.LastBlock = BlockID(l.NumBlocks() - 1)
+		bl.batches = append(bl.batches, cur)
+	}
+	return bl, nil
+}
+
+// Len returns the number of batches.
+func (bl *BatchList) Len() int { return len(bl.batches) }
+
+// Batch returns the i-th batch.
+func (bl *BatchList) Batch(i int) (Batch, error) {
+	if i < 0 || i >= len(bl.batches) {
+		return Batch{}, fmt.Errorf("chain: batch %d out of range [0,%d)", i, len(bl.batches))
+	}
+	return bl.batches[i], nil
+}
+
+// BatchOf returns the batch containing the given token. This is the mixin
+// universe lookup of Algorithm 1 line 1.
+func (bl *BatchList) BatchOf(t TokenID) (Batch, error) {
+	if t < 0 || int(t) >= len(bl.byToken) {
+		return Batch{}, fmt.Errorf("%w: %v", ErrUnknownToken, t)
+	}
+	return bl.batches[bl.byToken[t]], nil
+}
+
+// Universe returns the mixin universe for a token: all tokens in its batch.
+func (bl *BatchList) Universe(t TokenID) (TokenSet, error) {
+	b, err := bl.BatchOf(t)
+	if err != nil {
+		return nil, err
+	}
+	return b.Tokens, nil
+}

@@ -1,0 +1,101 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	l := NewLedger()
+	b0 := l.BeginBlock()
+	if _, err := l.AddTxAmounts(b0, []uint64{5, 10}); err != nil {
+		t.Fatal(err)
+	}
+	b1 := l.BeginBlock()
+	if _, err := l.AddTx(b1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(0, 2, 3), 0.6, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(1, 4), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := l.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBlocks() != l.NumBlocks() || got.NumTxs() != l.NumTxs() ||
+		got.NumTokens() != l.NumTokens() || got.NumRS() != l.NumRS() {
+		t.Fatalf("shape mismatch: %d/%d/%d/%d vs %d/%d/%d/%d",
+			got.NumBlocks(), got.NumTxs(), got.NumTokens(), got.NumRS(),
+			l.NumBlocks(), l.NumTxs(), l.NumTokens(), l.NumRS())
+	}
+	for i := 0; i < l.NumTokens(); i++ {
+		want, _ := l.Token(TokenID(i))
+		have, _ := got.Token(TokenID(i))
+		if want != have {
+			t.Fatalf("token %d: %+v vs %+v", i, have, want)
+		}
+	}
+	for i := 0; i < l.NumRS(); i++ {
+		want, _ := l.RS(RSID(i))
+		have, _ := got.RS(RSID(i))
+		if !have.Tokens.Equal(want.Tokens) || have.C != want.C || have.L != want.L {
+			t.Fatalf("ring %d: %+v vs %+v", i, have, want)
+		}
+	}
+}
+
+func TestSnapshotEmptyLedger(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLedger().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTokens() != 0 || got.NumBlocks() != 0 {
+		t.Fatal("empty round trip should stay empty")
+	}
+}
+
+func TestReadLedgerErrors(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader("")); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("empty input err = %v", err)
+	}
+	if _, err := ReadLedger(strings.NewReader(`{"version":99}` + "\n")); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("bad version err = %v", err)
+	}
+	// Header promises a tx but the stream ends.
+	trunc := `{"version":1,"blocks":1,"txs":1,"tokens":2,"rings":0}` + "\n"
+	if _, err := ReadLedger(strings.NewReader(trunc)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	// Ring referencing a token that does not exist.
+	badRing := `{"version":1,"blocks":1,"txs":1,"tokens":1,"rings":1}` + "\n" +
+		`{"block":0,"amounts":[1]}` + "\n" +
+		`{"tokens":[99],"c":1,"l":1}` + "\n"
+	if _, err := ReadLedger(strings.NewReader(badRing)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad ring err = %v", err)
+	}
+	// Token count mismatch between header and body.
+	mismatch := `{"version":1,"blocks":1,"txs":1,"tokens":5,"rings":0}` + "\n" +
+		`{"block":0,"amounts":[1]}` + "\n"
+	if _, err := ReadLedger(strings.NewReader(mismatch)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("mismatch err = %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package chain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLedger hardens the snapshot decoder against corrupt or adversarial
+// input: it must either return an error or produce a self-consistent ledger,
+// and never panic.
+func FuzzReadLedger(f *testing.F) {
+	// Seed with a valid snapshot…
+	l := NewLedger()
+	b := l.BeginBlock()
+	if _, err := l.AddTxAmounts(b, []uint64{1, 2}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(0, 1), 1, 1); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	// …and hostile variants.
+	f.Add(`{"version":1,"blocks":-1,"txs":0,"tokens":0,"rings":0}` + "\n")
+	f.Add(`{"version":1,"blocks":1,"txs":1000000,"tokens":0,"rings":0}` + "\n")
+	f.Add(`{"version":1`)
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadLedger(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A successfully decoded ledger must be internally consistent.
+		for i := 0; i < got.NumTokens(); i++ {
+			tok, err := got.Token(TokenID(i))
+			if err != nil {
+				t.Fatalf("token %d unreadable after decode: %v", i, err)
+			}
+			if int(tok.Origin) >= got.NumTxs() || tok.Origin < 0 {
+				t.Fatalf("token %d has dangling origin %v", i, tok.Origin)
+			}
+		}
+		for i := 0; i < got.NumRS(); i++ {
+			r, err := got.RS(RSID(i))
+			if err != nil {
+				t.Fatalf("ring %d unreadable: %v", i, err)
+			}
+			if !r.Tokens.IsSorted() {
+				t.Fatalf("ring %d tokens unsorted: %v", i, r.Tokens)
+			}
+			for _, tok := range r.Tokens {
+				if int(tok) >= got.NumTokens() {
+					t.Fatalf("ring %d references missing token %v", i, tok)
+				}
+			}
+		}
+		// Round trip must be stable.
+		var buf bytes.Buffer
+		if _, err := got.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadLedger(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzTokenSetOps checks the set algebra invariants on arbitrary inputs.
+func FuzzTokenSetOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 255, 0}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte) {
+		toSet := func(raw []byte) TokenSet {
+			ids := make([]TokenID, len(raw))
+			for i, v := range raw {
+				ids[i] = TokenID(v)
+			}
+			return NewTokenSet(ids...)
+		}
+		a, b := toSet(aRaw), toSet(bRaw)
+		u := a.Union(b)
+		inter := a.Intersect(b)
+		if !u.IsSorted() || !inter.IsSorted() {
+			t.Fatal("sorted invariant broken")
+		}
+		if len(a)+len(b) != len(u)+len(inter) {
+			t.Fatal("inclusion-exclusion broken")
+		}
+		if !a.Minus(b).Union(inter).Equal(a) {
+			t.Fatalf("(a\\b) ∪ (a∩b) != a for %v, %v", a, b)
+		}
+		if a.Disjoint(b) != (len(inter) == 0) {
+			t.Fatal("Disjoint disagrees with Intersect")
+		}
+		for _, id := range a {
+			if !u.Contains(id) {
+				t.Fatal("union lost a member")
+			}
+		}
+	})
+}

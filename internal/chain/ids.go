@@ -1,0 +1,40 @@
+// Package chain implements the UTXO blockchain substrate that the DA-MS
+// algorithms operate on: tokens, historical transactions, blocks, an
+// append-only ledger, and the TokenMagic batch partitioning.
+//
+// The packages above this one (diversity, rsgraph, selector, tokenmagic)
+// never look at cryptographic key material; they only need the mapping
+// from a token to the historical transaction (HT) that produced it, and
+// the overlap structure between ring signatures. This package provides
+// both with dense integer identifiers so hot paths can use slices rather
+// than maps.
+package chain
+
+import "fmt"
+
+// TokenID identifies a token (an unspent transaction output). IDs are dense
+// within a Ledger: the i-th token ever created has TokenID(i).
+type TokenID int32
+
+// TxID identifies a historical transaction (HT), the transaction whose
+// outputs include a given token. The paper's recursive diversity constraint
+// is computed over the multiset of TxIDs behind a ring's tokens.
+type TxID int32
+
+// RSID identifies a ring signature recorded on the ledger, in proposal
+// order: RS i was proposed before RS j iff i < j.
+type RSID int32
+
+// BlockID identifies a block by height.
+type BlockID int32
+
+// NoTx marks a token with an unknown or out-of-scope historical transaction.
+const NoTx TxID = -1
+
+// NoToken is the zero value guard for TokenID fields that may be unset.
+const NoToken TokenID = -1
+
+func (t TokenID) String() string { return fmt.Sprintf("t%d", int32(t)) }
+func (h TxID) String() string    { return fmt.Sprintf("h%d", int32(h)) }
+func (r RSID) String() string    { return fmt.Sprintf("r%d", int32(r)) }
+func (b BlockID) String() string { return fmt.Sprintf("b%d", int32(b)) }

@@ -1,0 +1,203 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Token is one unspent transaction output. The DA-MS algorithms only care
+// about Origin (the historical transaction that produced the token); Block is
+// kept so batches can be derived from block order, and Amount exists so the
+// examples can model fees realistically.
+type Token struct {
+	ID     TokenID
+	Origin TxID    // the historical transaction (HT) that output this token
+	Block  BlockID // block in which the HT was recorded
+	Amount uint64  // denominated value; unused by the solvers
+}
+
+// Tx is a historical transaction: it consumes some rings and produces output
+// tokens. For the selection problem only the output side matters.
+type Tx struct {
+	ID      TxID
+	Block   BlockID
+	Outputs []TokenID
+}
+
+// RingRecord is a ring signature as it appears on the ledger: a token set
+// (consumed token + mixins, indistinguishable to observers), the declared
+// recursive (c, ℓ)-diversity requirement, and its proposal position.
+type RingRecord struct {
+	ID      RSID
+	Tokens  TokenSet
+	C       float64 // declared diversity parameter c
+	L       int     // declared diversity parameter ℓ
+	Pos     int     // proposal order (timestamp π); equals int(ID)
+	KeyHash string  // key-image commitment; empty in pure simulations
+}
+
+// Block groups transactions; height is its BlockID.
+type Block struct {
+	ID  BlockID
+	Txs []TxID
+}
+
+// Ledger is the append-only chain state: all historical transactions, all
+// tokens and all ring signatures in proposal order. It is not safe for
+// concurrent mutation; wrap it if a concurrent writer is needed (the
+// TokenMagic framework serialises writes per batch).
+type Ledger struct {
+	tokens []Token
+	txs    []Tx
+	blocks []Block
+	rings  []RingRecord
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Errors returned by ledger mutations.
+var (
+	ErrUnknownToken = errors.New("chain: unknown token")
+	ErrUnknownTx    = errors.New("chain: unknown transaction")
+	ErrUnknownRS    = errors.New("chain: unknown ring signature")
+	ErrEmptyRing    = errors.New("chain: ring signature must contain at least one token")
+)
+
+// BeginBlock appends a new empty block and returns its id.
+func (l *Ledger) BeginBlock() BlockID {
+	id := BlockID(len(l.blocks))
+	l.blocks = append(l.blocks, Block{ID: id})
+	return id
+}
+
+// AddTx records a historical transaction with n output tokens in the given
+// block and returns the new TxID. Amounts default to 1 each.
+func (l *Ledger) AddTx(block BlockID, nOutputs int) (TxID, error) {
+	return l.AddTxAmounts(block, make([]uint64, nOutputs))
+}
+
+// AddTxAmounts records a historical transaction with one output token per
+// amount (zero amounts are normalised to 1).
+func (l *Ledger) AddTxAmounts(block BlockID, amounts []uint64) (TxID, error) {
+	if int(block) >= len(l.blocks) || block < 0 {
+		return NoTx, fmt.Errorf("chain: block %v does not exist", block)
+	}
+	tx := Tx{ID: TxID(len(l.txs)), Block: block}
+	for _, a := range amounts {
+		if a == 0 {
+			a = 1
+		}
+		tok := Token{ID: TokenID(len(l.tokens)), Origin: tx.ID, Block: block, Amount: a}
+		l.tokens = append(l.tokens, tok)
+		tx.Outputs = append(tx.Outputs, tok.ID)
+	}
+	l.txs = append(l.txs, tx)
+	l.blocks[block].Txs = append(l.blocks[block].Txs, tx.ID)
+	return tx.ID, nil
+}
+
+// AppendRS records a ring signature with its declared diversity requirement
+// and returns its RSID. Tokens must all exist.
+func (l *Ledger) AppendRS(tokens TokenSet, c float64, lreq int) (RSID, error) {
+	if len(tokens) == 0 {
+		return -1, ErrEmptyRing
+	}
+	for _, t := range tokens {
+		if int(t) >= len(l.tokens) || t < 0 {
+			return -1, fmt.Errorf("%w: %v", ErrUnknownToken, t)
+		}
+	}
+	id := RSID(len(l.rings))
+	l.rings = append(l.rings, RingRecord{
+		ID: id, Tokens: tokens.Clone(), C: c, L: lreq, Pos: int(id),
+	})
+	return id, nil
+}
+
+// NumTokens returns the number of tokens ever created.
+func (l *Ledger) NumTokens() int { return len(l.tokens) }
+
+// NumTxs returns the number of historical transactions.
+func (l *Ledger) NumTxs() int { return len(l.txs) }
+
+// NumBlocks returns the chain height.
+func (l *Ledger) NumBlocks() int { return len(l.blocks) }
+
+// NumRS returns the number of recorded ring signatures.
+func (l *Ledger) NumRS() int { return len(l.rings) }
+
+// Token returns the token with the given id.
+func (l *Ledger) Token(id TokenID) (Token, error) {
+	if id < 0 || int(id) >= len(l.tokens) {
+		return Token{}, fmt.Errorf("%w: %v", ErrUnknownToken, id)
+	}
+	return l.tokens[id], nil
+}
+
+// Origin returns the historical transaction of a token, or NoTx if unknown.
+func (l *Ledger) Origin(id TokenID) TxID {
+	if id < 0 || int(id) >= len(l.tokens) {
+		return NoTx
+	}
+	return l.tokens[id].Origin
+}
+
+// OriginFunc returns a fast token→HT lookup closure over the current tokens.
+// The closure stays valid for tokens existing at call time even if more
+// tokens are appended later.
+func (l *Ledger) OriginFunc() func(TokenID) TxID {
+	tokens := l.tokens
+	return func(id TokenID) TxID {
+		if id < 0 || int(id) >= len(tokens) {
+			return NoTx
+		}
+		return tokens[id].Origin
+	}
+}
+
+// Tx returns the transaction with the given id.
+func (l *Ledger) Tx(id TxID) (Tx, error) {
+	if id < 0 || int(id) >= len(l.txs) {
+		return Tx{}, fmt.Errorf("%w: %v", ErrUnknownTx, id)
+	}
+	return l.txs[id], nil
+}
+
+// RS returns the ring signature with the given id.
+func (l *Ledger) RS(id RSID) (RingRecord, error) {
+	if id < 0 || int(id) >= len(l.rings) {
+		return RingRecord{}, fmt.Errorf("%w: %v", ErrUnknownRS, id)
+	}
+	return l.rings[id], nil
+}
+
+// Rings returns all ring signatures in proposal order. The returned slice is
+// shared; callers must not mutate it.
+func (l *Ledger) Rings() []RingRecord { return l.rings }
+
+// TokensInBlocks returns all tokens produced by transactions in blocks
+// [from, to] inclusive, sorted.
+func (l *Ledger) TokensInBlocks(from, to BlockID) TokenSet {
+	var out TokenSet
+	for _, tok := range l.tokens {
+		if tok.Block >= from && tok.Block <= to {
+			out = append(out, tok.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RingsOver returns, in proposal order, the ring signatures whose token sets
+// intersect universe. This is the "R_π^T" of the paper restricted to a batch.
+func (l *Ledger) RingsOver(universe TokenSet) []RingRecord {
+	var out []RingRecord
+	for _, r := range l.rings {
+		if !r.Tokens.Disjoint(universe) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

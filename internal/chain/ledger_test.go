@@ -1,0 +1,215 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildSmallLedger(t *testing.T) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	b0 := l.BeginBlock()
+	if _, err := l.AddTx(b0, 2); err != nil { // h0 -> t0, t1
+		t.Fatal(err)
+	}
+	if _, err := l.AddTx(b0, 1); err != nil { // h1 -> t2
+		t.Fatal(err)
+	}
+	b1 := l.BeginBlock()
+	if _, err := l.AddTx(b1, 3); err != nil { // h2 -> t3, t4, t5
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLedgerBasics(t *testing.T) {
+	l := buildSmallLedger(t)
+	if got, want := l.NumTokens(), 6; got != want {
+		t.Fatalf("NumTokens = %d, want %d", got, want)
+	}
+	if got, want := l.NumTxs(), 3; got != want {
+		t.Fatalf("NumTxs = %d, want %d", got, want)
+	}
+	if got, want := l.NumBlocks(), 2; got != want {
+		t.Fatalf("NumBlocks = %d, want %d", got, want)
+	}
+	if got := l.Origin(0); got != 0 {
+		t.Fatalf("Origin(t0) = %v, want h0", got)
+	}
+	if got := l.Origin(5); got != 2 {
+		t.Fatalf("Origin(t5) = %v, want h2", got)
+	}
+	if got := l.Origin(99); got != NoTx {
+		t.Fatalf("Origin(t99) = %v, want NoTx", got)
+	}
+	tx, err := l.Tx(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Outputs) != 3 {
+		t.Fatalf("h2 outputs = %v", tx.Outputs)
+	}
+}
+
+func TestLedgerAddTxBadBlock(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.AddTx(0, 1); err == nil {
+		t.Fatal("AddTx to nonexistent block should fail")
+	}
+}
+
+func TestLedgerAppendRS(t *testing.T) {
+	l := buildSmallLedger(t)
+	id, err := l.AppendRS(NewTokenSet(0, 2, 3), 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first RSID = %v, want 0", id)
+	}
+	rs, err := l.RS(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Tokens.Equal(TokenSet{0, 2, 3}) || rs.C != 0.5 || rs.L != 2 {
+		t.Fatalf("unexpected record %+v", rs)
+	}
+
+	if _, err := l.AppendRS(nil, 1, 1); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("empty ring err = %v", err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(99), 1, 1); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("unknown token err = %v", err)
+	}
+}
+
+func TestLedgerRingsOver(t *testing.T) {
+	l := buildSmallLedger(t)
+	mustRS(t, l, NewTokenSet(0, 1))
+	mustRS(t, l, NewTokenSet(3, 4))
+	mustRS(t, l, NewTokenSet(2, 5))
+
+	got := l.RingsOver(NewTokenSet(0, 3))
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("RingsOver = %+v", got)
+	}
+	if got := l.RingsOver(NewTokenSet()); len(got) != 0 {
+		t.Fatalf("RingsOver(empty) = %+v", got)
+	}
+}
+
+func mustRS(t *testing.T, l *Ledger, tokens TokenSet) RSID {
+	t.Helper()
+	id, err := l.AppendRS(tokens, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestTokensInBlocks(t *testing.T) {
+	l := buildSmallLedger(t)
+	if got := l.TokensInBlocks(0, 0); !got.Equal(TokenSet{0, 1, 2}) {
+		t.Fatalf("block 0 tokens = %v", got)
+	}
+	if got := l.TokensInBlocks(1, 1); !got.Equal(TokenSet{3, 4, 5}) {
+		t.Fatalf("block 1 tokens = %v", got)
+	}
+	if got := l.TokensInBlocks(0, 1); len(got) != 6 {
+		t.Fatalf("all tokens = %v", got)
+	}
+}
+
+func TestOriginFunc(t *testing.T) {
+	l := buildSmallLedger(t)
+	origin := l.OriginFunc()
+	if origin(2) != 1 {
+		t.Fatalf("origin(t2) = %v", origin(2))
+	}
+	if origin(-1) != NoTx || origin(100) != NoTx {
+		t.Fatal("out-of-range tokens must map to NoTx")
+	}
+}
+
+func TestBuildBatches(t *testing.T) {
+	l := NewLedger()
+	// 4 blocks with 3, 2, 4, 1 tokens.
+	for _, n := range []int{3, 2, 4, 1} {
+		b := l.BeginBlock()
+		if _, err := l.AddTx(b, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := BuildBatches(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 (3 tokens) + block 1 (2 tokens) = 5 >= λ → batch 0 closes.
+	// Block 2 (4 tokens) < 5, block 3 (+1) = 5 → batch 1 closes.
+	if bl.Len() != 2 {
+		t.Fatalf("batches = %d, want 2", bl.Len())
+	}
+	b0, _ := bl.Batch(0)
+	if len(b0.Tokens) != 5 || b0.FirstBlock != 0 || b0.LastBlock != 1 {
+		t.Fatalf("batch0 = %+v", b0)
+	}
+	b1, _ := bl.Batch(1)
+	if len(b1.Tokens) != 5 || b1.FirstBlock != 2 || b1.LastBlock != 3 {
+		t.Fatalf("batch1 = %+v", b1)
+	}
+	// Universe lookups.
+	u, err := bl.Universe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(b0.Tokens) {
+		t.Fatalf("universe(t0) = %v", u)
+	}
+	u, err = bl.Universe(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(b1.Tokens) {
+		t.Fatalf("universe(t7) = %v", u)
+	}
+	if _, err := bl.Universe(999); err == nil {
+		t.Fatal("expected error for unknown token")
+	}
+}
+
+func TestBuildBatchesTrailingPartial(t *testing.T) {
+	l := NewLedger()
+	for _, n := range []int{3, 3, 2} { // last 2 tokens don't reach λ=3? 3,3 close two batches, 2 trails
+		b := l.BeginBlock()
+		if _, err := l.AddTx(b, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := BuildBatches(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != 3 {
+		t.Fatalf("batches = %d, want 3 (two full + trailing partial)", bl.Len())
+	}
+	last, _ := bl.Batch(2)
+	if len(last.Tokens) != 2 {
+		t.Fatalf("trailing batch tokens = %v", last.Tokens)
+	}
+}
+
+func TestBuildBatchesBadLambda(t *testing.T) {
+	if _, err := BuildBatches(NewLedger(), 0); !errors.Is(err, ErrBadLambda) {
+		t.Fatalf("err = %v, want ErrBadLambda", err)
+	}
+}
+
+func TestBuildBatchesEmptyLedger(t *testing.T) {
+	bl, err := BuildBatches(NewLedger(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != 1 {
+		t.Fatalf("empty ledger should produce a single empty batch, got %d", bl.Len())
+	}
+}

@@ -1,0 +1,168 @@
+package chain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLedger builds a ledger with random blocks, transactions and
+// configuration-compliant rings.
+func randomLedger(rng *rand.Rand) *Ledger {
+	l := NewLedger()
+	nBlocks := 1 + rng.Intn(5)
+	for b := 0; b < nBlocks; b++ {
+		id := l.BeginBlock()
+		for tx := 0; tx < 1+rng.Intn(4); tx++ {
+			amounts := make([]uint64, 1+rng.Intn(3))
+			for i := range amounts {
+				amounts[i] = uint64(1 + rng.Intn(100))
+			}
+			if _, err := l.AddTxAmounts(id, amounts); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// Random rings over random token subsets.
+	for r := 0; r < rng.Intn(4); r++ {
+		var toks []TokenID
+		for t := 0; t < l.NumTokens(); t++ {
+			if rng.Intn(4) == 0 {
+				toks = append(toks, TokenID(t))
+			}
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if _, err := l.AppendRS(NewTokenSet(toks...), 0.5+rng.Float64(), 1+rng.Intn(3)); err != nil {
+			panic(err)
+		}
+	}
+	return l
+}
+
+// Property: BuildBatches partitions the token universe — every token in
+// exactly one batch, batches block-contiguous and sequential.
+func TestBatchPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLedger(rng)
+		lambda := 1 + rng.Intn(10)
+		bl, err := BuildBatches(l, lambda)
+		if err != nil {
+			return false
+		}
+		seen := make(map[TokenID]int)
+		prevLast := BlockID(-1)
+		for i := 0; i < bl.Len(); i++ {
+			b, err := bl.Batch(i)
+			if err != nil {
+				return false
+			}
+			if b.FirstBlock != prevLast+1 {
+				return false // batches must be sequential and gap-free
+			}
+			prevLast = b.LastBlock
+			for _, tok := range b.Tokens {
+				if _, dup := seen[tok]; dup {
+					return false
+				}
+				seen[tok] = i
+			}
+		}
+		if len(seen) != l.NumTokens() {
+			return false
+		}
+		// BatchOf agrees with membership.
+		for tok, batch := range seen {
+			got, err := bl.BatchOf(tok)
+			if err != nil || got.Index != batch {
+				return false
+			}
+		}
+		// All but the last batch hold ≥ λ tokens.
+		for i := 0; i < bl.Len()-1; i++ {
+			b, _ := bl.Batch(i)
+			if len(b.Tokens) < lambda {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot round trips preserve the full chain state.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLedger(rng)
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadLedger(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumBlocks() != l.NumBlocks() || got.NumTxs() != l.NumTxs() ||
+			got.NumTokens() != l.NumTokens() || got.NumRS() != l.NumRS() {
+			return false
+		}
+		for i := 0; i < l.NumTokens(); i++ {
+			a, _ := l.Token(TokenID(i))
+			b, _ := got.Token(TokenID(i))
+			if a != b {
+				return false
+			}
+		}
+		for i := 0; i < l.NumRS(); i++ {
+			a, _ := l.RS(RSID(i))
+			b, _ := got.RS(RSID(i))
+			if !a.Tokens.Equal(b.Tokens) || a.C != b.C || a.L != b.L {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RingsOver returns exactly the rings intersecting the universe.
+func TestRingsOverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLedger(rng)
+		if l.NumTokens() == 0 {
+			return true
+		}
+		var universe TokenSet
+		for t := 0; t < l.NumTokens(); t++ {
+			if rng.Intn(2) == 0 {
+				universe = append(universe, TokenID(t))
+			}
+		}
+		got := l.RingsOver(universe)
+		gotIDs := make(map[RSID]bool, len(got))
+		for _, r := range got {
+			gotIDs[r.ID] = true
+			if r.Tokens.Disjoint(universe) {
+				return false
+			}
+		}
+		for _, r := range l.Rings() {
+			if !r.Tokens.Disjoint(universe) && !gotIDs[r.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

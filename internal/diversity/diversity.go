@@ -1,0 +1,205 @@
+// Package diversity implements the recursive (c, ℓ)-diversity predicate the
+// paper borrows from Machanavajjhala et al. and applies to the multiset of
+// historical transactions (HTs) behind a ring signature's tokens.
+//
+// A frequency vector q₁ ≥ q₂ ≥ … ≥ q_θ (qᵢ = number of tokens whose HT is
+// the i-th most frequent) satisfies recursive (c, ℓ)-diversity iff
+//
+//	q₁ < c · (q_ℓ + q_{ℓ+1} + … + q_θ).
+//
+// A ring signature is a recursive (c, ℓ)-diversity RS when both its own HT
+// multiset and the HT multiset of each of its DTRSs satisfy the predicate
+// (Definition 4). This package only provides the predicate and histogram
+// machinery; DTRS enumeration lives in internal/dtrs.
+package diversity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tokenmagic/internal/chain"
+)
+
+// Requirement is a user-declared recursive (c, ℓ)-diversity requirement.
+type Requirement struct {
+	C float64
+	L int
+}
+
+// Validate reports whether the requirement parameters are well formed.
+// c must be positive (the paper varies it in (0, 1]); ℓ must be ≥ 1.
+func (r Requirement) Validate() error {
+	if r.C <= 0 {
+		return fmt.Errorf("%w: c = %v", ErrBadRequirement, r.C)
+	}
+	if r.L < 1 {
+		return fmt.Errorf("%w: ℓ = %d", ErrBadRequirement, r.L)
+	}
+	return nil
+}
+
+// WithHeadroom returns the requirement tightened to (c, ℓ+1). Theorem 6.4:
+// if a ring's HT multiset satisfies (c, ℓ+1)-diversity then every DTRS of the
+// ring satisfies (c, ℓ)-diversity, which is how the second practical
+// configuration guarantees immutability.
+func (r Requirement) WithHeadroom() Requirement { return Requirement{C: r.C, L: r.L + 1} }
+
+func (r Requirement) String() string { return fmt.Sprintf("(%g,%d)-diversity", r.C, r.L) }
+
+// ErrBadRequirement reports malformed (c, ℓ) parameters.
+var ErrBadRequirement = errors.New("diversity: invalid requirement")
+
+// Histogram is a multiset of HTs represented as per-HT counts. The zero value
+// is an empty histogram ready to use.
+type Histogram struct {
+	counts map[chain.TxID]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[chain.TxID]int)}
+}
+
+// HistogramOf builds the HT histogram for a token set under the given
+// token→HT mapping. Tokens mapping to chain.NoTx are counted under NoTx —
+// they still occupy a histogram class, mirroring the paper's treatment of
+// every token having exactly one HT.
+func HistogramOf(tokens chain.TokenSet, origin func(chain.TokenID) chain.TxID) *Histogram {
+	h := NewHistogram()
+	for _, t := range tokens {
+		h.Add(origin(t))
+	}
+	return h
+}
+
+// Add records one token from HT h.
+func (h *Histogram) Add(tx chain.TxID) {
+	if h.counts == nil {
+		h.counts = make(map[chain.TxID]int)
+	}
+	h.counts[tx]++
+	h.total++
+}
+
+// AddN records n tokens from HT h.
+func (h *Histogram) AddN(tx chain.TxID, n int) {
+	if n <= 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[chain.TxID]int)
+	}
+	h.counts[tx] += n
+	h.total += n
+}
+
+// Remove deletes one token of HT h; it is a no-op if none is recorded.
+func (h *Histogram) Remove(tx chain.TxID) {
+	if h.counts == nil {
+		return
+	}
+	if c := h.counts[tx]; c > 0 {
+		if c == 1 {
+			delete(h.counts, tx)
+		} else {
+			h.counts[tx] = c - 1
+		}
+		h.total--
+	}
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{counts: make(map[chain.TxID]int, len(h.counts)), total: h.total}
+	for k, v := range h.counts {
+		out.counts[k] = v
+	}
+	return out
+}
+
+// Total returns the number of tokens recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Classes returns θ, the number of distinct HTs recorded.
+func (h *Histogram) Classes() int { return len(h.counts) }
+
+// Count returns the number of tokens recorded for one HT.
+func (h *Histogram) Count(tx chain.TxID) int { return h.counts[tx] }
+
+// Frequencies returns the counts sorted in non-increasing order
+// (q₁ ≥ q₂ ≥ … ≥ q_θ).
+func (h *Histogram) Frequencies() []int {
+	qs := make([]int, 0, len(h.counts))
+	for _, c := range h.counts {
+		qs = append(qs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(qs)))
+	return qs
+}
+
+// MaxCount returns q₁ (0 for an empty histogram). This is the q_M of
+// Theorems 6.2/6.5/6.7.
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MinCount returns q_θ (0 for an empty histogram); the paper's q_min.
+func (h *Histogram) MinCount() int {
+	m := 0
+	first := true
+	for _, c := range h.counts {
+		if first || c < m {
+			m = c
+			first = false
+		}
+	}
+	return m
+}
+
+// Satisfies reports whether the histogram satisfies recursive
+// (c, ℓ)-diversity: q₁ < c·(q_ℓ + … + q_θ). When θ < ℓ the tail sum is
+// empty, so a non-empty histogram always fails (q₁ ≥ 1 > 0 = c·0); an empty
+// histogram vacuously satisfies every requirement.
+func (h *Histogram) Satisfies(req Requirement) bool {
+	return h.Slack(req) < 0
+}
+
+// Slack returns δ = q₁ − c·(q_ℓ + … + q_θ). Negative slack means the
+// requirement is met; the Progressive algorithm greedily drives δ below 0
+// (Section 6.2), so exposing it directly avoids recomputation.
+func (h *Histogram) Slack(req Requirement) float64 {
+	if h.total == 0 {
+		return -1 // vacuous satisfaction for empty multisets
+	}
+	qs := h.Frequencies()
+	q1 := float64(qs[0])
+	tail := 0.0
+	for i := req.L - 1; i < len(qs); i++ {
+		tail += float64(qs[i])
+	}
+	return q1 - req.C*tail
+}
+
+// DistinctHTsNeeded is a quick lower bound helper: a multiset can only
+// satisfy (c, ℓ) when it spans at least ℓ distinct HTs. (With θ ≥ ℓ the tail
+// is non-empty; with θ < ℓ it can never pass.)
+func (h *Histogram) DistinctHTsNeeded(req Requirement) int {
+	if missing := req.L - h.Classes(); missing > 0 {
+		return missing
+	}
+	return 0
+}
+
+// SatisfiesTokens is a convenience wrapper: it builds the histogram of the
+// token set and evaluates the predicate.
+func SatisfiesTokens(tokens chain.TokenSet, origin func(chain.TokenID) chain.TxID, req Requirement) bool {
+	return HistogramOf(tokens, origin).Satisfies(req)
+}

@@ -1,0 +1,113 @@
+package node
+
+import (
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// unsignedNode builds a node that accepts unsigned submissions over a
+// 12-token / 12-HT chain, for mempool-order tests that need hand-built
+// rings.
+func unsignedNode(t *testing.T) (*Node, *chain.Ledger) {
+	t.Helper()
+	l := chain.NewLedger()
+	b := l.BeginBlock()
+	for i := 0; i < 12; i++ {
+		if _, err := l.AddTx(b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := New(l, Config{
+		Framework:     itm.Config{Lambda: 100, Headroom: false, Algorithm: itm.Progressive},
+		AllowUnsigned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, l
+}
+
+// A subset ring pending together with its superset must mine subset-first,
+// regardless of fees, or the superset commit would make the subset an
+// illegal partial overlap... (it would actually still be a subset — but the
+// configuration requires the chain to grow subset-before-superset so the
+// superset records the correct subset count).
+func TestMineSubsetBeforeSuperset(t *testing.T) {
+	n, _ := unsignedNode(t)
+	req := diversity.Requirement{C: 2, L: 2}
+
+	small := Submission{Tokens: chain.NewTokenSet(0, 1), Req: req, Fee: 1}
+	big := Submission{Tokens: chain.NewTokenSet(0, 1, 2), Req: req, Fee: 99}
+	rs, err := n.Submit(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := n.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := n.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 2 {
+		t.Fatalf("mined = %+v", mined)
+	}
+	if mined[0].SubmissionID != rs.SubmissionID || mined[1].SubmissionID != rb.SubmissionID {
+		t.Fatalf("subset must mine before superset despite lower fee: %+v", mined)
+	}
+}
+
+// Entries invalidated by earlier commits in the same block are dropped, not
+// mined: two disjoint-pending rings where mining the first (superset of a
+// third...) — construct directly: pending A and B where B becomes a partial
+// overlap once A commits. Under the mempool admission rule B could only
+// have been admitted before A; build that by submitting B first, then A as
+// a superset of part of... admission forbids partial overlaps among pending
+// entries, so the drop path triggers when the LEDGER moved between Submit
+// and Mine. Simulate by committing directly to the ledger.
+func TestMineDropsEntriesInvalidatedByChainMovement(t *testing.T) {
+	n, l := unsignedNode(t)
+	req := diversity.Requirement{C: 2, L: 2}
+
+	pending := Submission{Tokens: chain.NewTokenSet(0, 1), Req: req, Fee: 1}
+	if _, err := n.Submit(pending); err != nil {
+		t.Fatal(err)
+	}
+	// The chain moves underneath: another node mines a partially
+	// overlapping ring {1, 2}.
+	if _, err := l.AppendRS(chain.NewTokenSet(1, 2), req.C, req.L); err != nil {
+		t.Fatal(err)
+	}
+	mined, err := n.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 0 {
+		t.Fatalf("invalidated entry must be dropped, got %+v", mined)
+	}
+	if n.PendingCount() != 0 {
+		t.Fatalf("dropped entry must leave the mempool, pending = %d", n.PendingCount())
+	}
+}
+
+func TestMineRespectsMaxRings(t *testing.T) {
+	n, _ := unsignedNode(t)
+	req := diversity.Requirement{C: 2, L: 2}
+	for i := 0; i < 3; i++ {
+		sub := Submission{Tokens: chain.NewTokenSet(chain.TokenID(i*4), chain.TokenID(i*4+1)), Req: req, Fee: uint64(i)}
+		if _, err := n.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mined, err := n.Mine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 2 || n.PendingCount() != 1 {
+		t.Fatalf("mined=%d pending=%d", len(mined), n.PendingCount())
+	}
+}

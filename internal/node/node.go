@@ -1,0 +1,216 @@
+// Package node implements the miner side of the paper's RS scheme
+// (Section 2.1, Step 3): a validating node that accepts signed ring-spend
+// submissions, checks them exactly as the paper's verifiers do —
+//
+//  1. the ring signature verifies against the ring members' keys,
+//  2. the key image is fresh (no double spend),
+//  3. the ring respects the TokenMagic configurations (one batch,
+//     superset-or-disjoint, declared diversity with headroom, closed-form
+//     DTRS diversity, η liveness) —
+//
+// holds valid submissions in a mempool, and periodically "mines" them: the
+// accepted rings are appended to the ledger in fee order, exactly like a
+// fee-market block template. Only Step 3 runs here; mixin selection and
+// signing (Steps 1–2) happen client-side, which is why TokenMagic's
+// selection cost never touches chain throughput.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/ringsig"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// Submission is a client's signed spend: the ring (token set), the declared
+// diversity requirement, the ring members' public keys in token order, and
+// the signature. Fee is the offered fee (the examples use ring size ×
+// fee-per-token, the paper's model).
+type Submission struct {
+	Tokens    chain.TokenSet
+	Req       diversity.Requirement
+	Keys      []ringsig.Point
+	Signature *ringsig.Signature
+	Fee       uint64
+}
+
+// Message returns the canonical signing payload for a ring. Clients must
+// sign exactly this; verifiers recompute it.
+func Message(tokens chain.TokenSet) []byte {
+	return []byte(fmt.Sprintf("spend ring over %v", tokens))
+}
+
+// Status classifies a mempool entry.
+type Status int
+
+// Mempool entry states.
+const (
+	StatusPending Status = iota
+	StatusMined
+)
+
+// Node is a validating miner. Safe for concurrent use.
+type Node struct {
+	mu      sync.Mutex
+	ledger  *chain.Ledger
+	fw      *itm.Framework
+	images  map[string]chain.RSID
+	mempool []pendingEntry
+	// VerifySignatures can be disabled for pure selection experiments.
+	verifySigs bool
+}
+
+type pendingEntry struct {
+	sub Submission
+	id  int // submission id for receipts
+}
+
+// Receipt identifies an accepted submission.
+type Receipt struct {
+	SubmissionID int
+}
+
+// Errors surfaced by submission validation.
+var (
+	ErrBadSignature   = errors.New("node: ring signature invalid")
+	ErrKeyImageUsed   = errors.New("node: key image already spent")
+	ErrKeysMismatch   = errors.New("node: one public key required per ring token")
+	ErrUnsignedDenied = errors.New("node: unsigned submissions not accepted")
+)
+
+// Config configures a node.
+type Config struct {
+	// Framework carries the TokenMagic Step-3 checks (λ, η, headroom).
+	Framework itm.Config
+	// AllowUnsigned admits submissions without signatures (selection-only
+	// experiments); key-image double-spend checking is skipped for them.
+	AllowUnsigned bool
+}
+
+// New creates a node over a ledger.
+func New(ledger *chain.Ledger, cfg Config) (*Node, error) {
+	fw, err := itm.New(ledger, cfg.Framework, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		ledger:     ledger,
+		fw:         fw,
+		images:     make(map[string]chain.RSID),
+		verifySigs: !cfg.AllowUnsigned,
+	}, nil
+}
+
+// Submit validates a spend and, if acceptable, queues it for mining.
+func (n *Node) Submit(sub Submission) (Receipt, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if n.verifySigs {
+		if sub.Signature == nil {
+			return Receipt{}, ErrUnsignedDenied
+		}
+		if len(sub.Keys) != len(sub.Tokens) {
+			return Receipt{}, ErrKeysMismatch
+		}
+		if err := ringsig.Verify(sub.Signature, sub.Keys, Message(sub.Tokens)); err != nil {
+			return Receipt{}, fmt.Errorf("%w: %v", ErrBadSignature, err)
+		}
+		img := string(sub.Signature.Image.Bytes())
+		if prior, used := n.images[img]; used {
+			return Receipt{}, fmt.Errorf("%w (by %v)", ErrKeyImageUsed, prior)
+		}
+		// Also scan the mempool for an in-flight duplicate image.
+		for _, e := range n.mempool {
+			if e.sub.Signature != nil && ringsig.Linked(e.sub.Signature, sub.Signature) {
+				return Receipt{}, fmt.Errorf("%w (pending)", ErrKeyImageUsed)
+			}
+		}
+	}
+	// TokenMagic Step-3 checks against the current chain + mempool rings.
+	if err := n.fw.VerifyRS(sub.Tokens, sub.Req); err != nil {
+		return Receipt{}, err
+	}
+	// Mempool conflicts: the practical configuration must also hold among
+	// pending rings, or mining order could invalidate later entries.
+	for _, e := range n.mempool {
+		if !sub.Tokens.Disjoint(e.sub.Tokens) &&
+			!e.sub.Tokens.SubsetOf(sub.Tokens) && !sub.Tokens.SubsetOf(e.sub.Tokens) {
+			return Receipt{}, fmt.Errorf("%w: conflicts with pending ring", itm.ErrConfig)
+		}
+	}
+	id := len(n.mempool)
+	n.mempool = append(n.mempool, pendingEntry{sub: sub, id: id})
+	return Receipt{SubmissionID: id}, nil
+}
+
+// PendingCount returns the mempool depth.
+func (n *Node) PendingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// MinedRing pairs a submission with the ring it became.
+type MinedRing struct {
+	SubmissionID int
+	Ring         chain.RSID
+	Fee          uint64
+}
+
+// Mine drains up to maxRings mempool entries into the ledger, highest fee
+// first (fee-per-byte ≈ fee here since verification cost scales with ring
+// size, which the fee already prices). Subset relations are mined before
+// their supersets so the configuration stays valid at every prefix.
+func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if maxRings <= 0 || len(n.mempool) == 0 {
+		return nil, nil
+	}
+	// Order: subsets first, then fee descending.
+	entries := append([]pendingEntry{}, n.mempool...)
+	sort.SliceStable(entries, func(a, b int) bool {
+		ta, tb := entries[a].sub.Tokens, entries[b].sub.Tokens
+		if ta.SubsetOf(tb) && !tb.SubsetOf(ta) {
+			return true
+		}
+		if tb.SubsetOf(ta) && !ta.SubsetOf(tb) {
+			return false
+		}
+		return entries[a].sub.Fee > entries[b].sub.Fee
+	})
+
+	var mined []MinedRing
+	var leftover []pendingEntry
+	for _, e := range entries {
+		if len(mined) >= maxRings {
+			leftover = append(leftover, e)
+			continue
+		}
+		id, err := n.fw.Commit(e.sub.Tokens, e.sub.Req)
+		if err != nil {
+			// The chain moved under this entry (e.g. a mined superset made
+			// it overlap-invalid): drop it; the client resubmits.
+			continue
+		}
+		if e.sub.Signature != nil {
+			n.images[string(e.sub.Signature.Image.Bytes())] = id
+		}
+		mined = append(mined, MinedRing{SubmissionID: e.id, Ring: id, Fee: e.sub.Fee})
+	}
+	n.mempool = leftover
+	return mined, nil
+}
+
+// ChainRings returns the number of rings on the ledger.
+func (n *Node) ChainRings() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ledger.NumRS()
+}

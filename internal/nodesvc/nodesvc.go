@@ -1,0 +1,197 @@
+// Package nodesvc exposes a validating miner (internal/node) over HTTP, so
+// wallets on other machines can submit signed ring spends and watch them get
+// mined. Together with internal/batchsvc (chain reads) it completes the
+// network story: a light wallet reads batches from one endpoint, selects
+// mixins locally, signs, and posts the spend to this one.
+//
+//	POST /v1/submit   {tokens, c, l, keys, signature, fee} → {submission_id}
+//	POST /v1/mine     {max_rings}                          → [{submission_id, ring, fee}]
+//	GET  /v1/status                                        → {pending, chain_rings}
+//
+// In a real deployment mining would be driven by consensus rather than an
+// endpoint; the endpoint keeps simulations and tests deterministic.
+package nodesvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/node"
+	"tokenmagic/internal/ringsig"
+)
+
+// SubmitRequest is the wire form of a node.Submission.
+type SubmitRequest struct {
+	Tokens    chain.TokenSet     `json:"tokens"`
+	C         float64            `json:"c"`
+	L         int                `json:"l"`
+	Keys      []ringsig.Point    `json:"keys,omitempty"`
+	Signature *ringsig.Signature `json:"signature,omitempty"`
+	Fee       uint64             `json:"fee"`
+}
+
+// SubmitResponse acknowledges an accepted submission.
+type SubmitResponse struct {
+	SubmissionID int `json:"submission_id"`
+}
+
+// MineRequest triggers block production.
+type MineRequest struct {
+	MaxRings int `json:"max_rings"`
+}
+
+// MinedEntry is one ring included in the produced block.
+type MinedEntry struct {
+	SubmissionID int        `json:"submission_id"`
+	Ring         chain.RSID `json:"ring"`
+	Fee          uint64     `json:"fee"`
+}
+
+// Status reports node state.
+type Status struct {
+	Pending    int `json:"pending"`
+	ChainRings int `json:"chain_rings"`
+}
+
+// Server wraps a node with HTTP handlers.
+type Server struct {
+	node *node.Node
+}
+
+// NewServer wraps an existing node.
+func NewServer(n *node.Node) *Server { return &Server{node: n} }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/v1/mine", s.handleMine)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rcpt, err := s.node.Submit(node.Submission{
+		Tokens:    req.Tokens,
+		Req:       diversity.Requirement{C: req.C, L: req.L},
+		Keys:      req.Keys,
+		Signature: req.Signature,
+		Fee:       req.Fee,
+	})
+	if err != nil {
+		// Validation failures are client errors; everything here is
+		// deterministic validation, so 422 fits all of them.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, SubmitResponse{SubmissionID: rcpt.SubmissionID})
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.MaxRings <= 0 {
+		req.MaxRings = 100
+	}
+	mined, err := s.node.Mine(req.MaxRings)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]MinedEntry, 0, len(mined))
+	for _, m := range mined {
+		out = append(out, MinedEntry{SubmissionID: m.SubmissionID, Ring: m.Ring, Fee: m.Fee})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Status{Pending: s.node.PendingCount(), ChainRings: s.node.ChainRings()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client posts submissions to a remote node.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient points at a node's base URL.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: hc}
+}
+
+func (c *Client) post(path string, body, into any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("nodesvc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg [512]byte
+		n, _ := resp.Body.Read(msg[:])
+		return fmt.Errorf("nodesvc: %s: %s: %s", path, resp.Status, string(msg[:n]))
+	}
+	if into == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// Submit posts a spend.
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.post("/v1/submit", req, &out)
+	return out, err
+}
+
+// Mine asks the node to produce a block.
+func (c *Client) Mine(maxRings int) ([]MinedEntry, error) {
+	var out []MinedEntry
+	err := c.post("/v1/mine", MineRequest{MaxRings: maxRings}, &out)
+	return out, err
+}
+
+// Status fetches node state.
+func (c *Client) Status() (Status, error) {
+	resp, err := c.http.Get(c.base + "/v1/status")
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	var out Status
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}

@@ -1,0 +1,176 @@
+package nodesvc
+
+import (
+	"crypto/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/node"
+	"tokenmagic/internal/ringsig"
+	"tokenmagic/internal/selector"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// testSetup builds a chain with keys, a node, an HTTP server and a client.
+func testSetup(t *testing.T) (*Client, *chain.Ledger, map[chain.TokenID]*ringsig.PrivateKey) {
+	t.Helper()
+	l := chain.NewLedger()
+	b := l.BeginBlock()
+	keys := make(map[chain.TokenID]*ringsig.PrivateKey)
+	for i := 0; i < 10; i++ {
+		txid, err := l.AddTx(b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := l.Tx(txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tok := range tx.Outputs {
+			k, err := ringsig.GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys[tok] = k
+		}
+	}
+	n, err := node.New(l, node.Config{Framework: itm.Config{
+		Lambda: 1000, Eta: 0.1, Headroom: true, Algorithm: itm.Progressive,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(n).Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), l, keys
+}
+
+// prepareSpend builds a signed SubmitRequest for a target token.
+func prepareSpend(t *testing.T, l *chain.Ledger, keys map[chain.TokenID]*ringsig.PrivateKey, target chain.TokenID) SubmitRequest {
+	t.Helper()
+	req := diversity.Requirement{C: 1, L: 3}
+	universe := l.TokensInBlocks(0, chain.BlockID(l.NumBlocks()-1))
+	supers, fresh := selector.Decompose(l.RingsOver(universe), universe)
+	p, err := selector.NewProblem(target, supers, fresh, l.OriginFunc(), req.WithHeadroom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := selector.Progressive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := make([]ringsig.Point, len(res.Tokens))
+	signer := -1
+	for i, tok := range res.Tokens {
+		pubs[i] = keys[tok].Public
+		if tok == target {
+			signer = i
+		}
+	}
+	sig, err := ringsig.Sign(rand.Reader, keys[target], pubs, signer, node.Message(res.Tokens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SubmitRequest{
+		Tokens:    res.Tokens,
+		C:         req.C,
+		L:         req.L,
+		Keys:      pubs,
+		Signature: sig,
+		Fee:       uint64(res.Size()),
+	}
+}
+
+func TestSubmitMineStatusOverHTTP(t *testing.T) {
+	client, l, keys := testSetup(t)
+
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending != 0 || st.ChainRings != 0 {
+		t.Fatalf("fresh status = %+v", st)
+	}
+
+	sub := prepareSpend(t, l, keys, 0)
+	ack, err := client.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending != 1 {
+		t.Fatalf("status after submit = %+v", st)
+	}
+
+	mined, err := client.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 1 || mined[0].SubmissionID != ack.SubmissionID {
+		t.Fatalf("mined = %+v", mined)
+	}
+	st, err = client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending != 0 || st.ChainRings != 1 {
+		t.Fatalf("status after mine = %+v", st)
+	}
+}
+
+func TestSubmitRejectionsOverHTTP(t *testing.T) {
+	client, l, keys := testSetup(t)
+	sub := prepareSpend(t, l, keys, 2)
+
+	// Unsigned: node rejects.
+	bad := sub
+	bad.Signature = nil
+	if _, err := client.Submit(bad); err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("unsigned err = %v", err)
+	}
+	// Signature over different tokens: rejected.
+	bad = sub
+	bad.Tokens = sub.Tokens.Add(19)
+	if _, err := client.Submit(bad); err == nil {
+		t.Fatal("tampered tokens must be rejected")
+	}
+	// The original still goes through (JSON round trip intact).
+	if _, err := client.Submit(sub); err != nil {
+		t.Fatalf("valid submission rejected: %v", err)
+	}
+	// Double spend over HTTP.
+	again := prepareSpend(t, l, keys, 2)
+	if _, err := client.Submit(again); err == nil {
+		t.Fatal("double spend must be rejected")
+	}
+}
+
+func TestMineDefaultsAndMethodChecks(t *testing.T) {
+	client, l, keys := testSetup(t)
+	if _, err := client.Submit(prepareSpend(t, l, keys, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// MaxRings ≤ 0 defaults server-side.
+	mined, err := client.Mine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 1 {
+		t.Fatalf("mined = %+v", mined)
+	}
+	// GET on POST-only endpoints.
+	resp, err := client.http.Get(client.base + "/v1/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /v1/submit status = %d", resp.StatusCode)
+	}
+}

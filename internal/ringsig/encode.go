@@ -1,0 +1,86 @@
+package ringsig
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// Wire encodings: signatures and points marshal to JSON with hex-encoded
+// big-endian integers, so any client stack can produce and verify them.
+
+type pointWire struct {
+	X string `json:"x"`
+	Y string `json:"y"`
+}
+
+// MarshalJSON encodes the point; the zero point encodes as {"x":"","y":""}.
+func (p Point) MarshalJSON() ([]byte, error) {
+	if p.IsZero() {
+		return json.Marshal(pointWire{})
+	}
+	return json.Marshal(pointWire{X: p.X.Text(16), Y: p.Y.Text(16)})
+}
+
+// UnmarshalJSON decodes a point and validates it is on the curve (or zero).
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var w pointWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.X == "" && w.Y == "" {
+		p.X, p.Y = nil, nil
+		return nil
+	}
+	x, okX := new(big.Int).SetString(w.X, 16)
+	y, okY := new(big.Int).SetString(w.Y, 16)
+	if !okX || !okY {
+		return fmt.Errorf("ringsig: malformed point hex")
+	}
+	if !Curve.IsOnCurve(x, y) {
+		return fmt.Errorf("ringsig: decoded point not on curve")
+	}
+	p.X, p.Y = x, y
+	return nil
+}
+
+type signatureWire struct {
+	C0    string   `json:"c0"`
+	S     []string `json:"s"`
+	Image Point    `json:"image"`
+}
+
+// MarshalJSON encodes the signature.
+func (sig *Signature) MarshalJSON() ([]byte, error) {
+	if sig == nil {
+		return []byte("null"), nil
+	}
+	w := signatureWire{C0: sig.C0.Text(16), Image: sig.Image}
+	for _, s := range sig.S {
+		w.S = append(w.S, s.Text(16))
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a signature; scalar range checks happen at Verify.
+func (sig *Signature) UnmarshalJSON(data []byte) error {
+	var w signatureWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	c0, ok := new(big.Int).SetString(w.C0, 16)
+	if !ok {
+		return fmt.Errorf("ringsig: malformed c0")
+	}
+	sig.C0 = c0
+	sig.S = sig.S[:0]
+	for i, hexS := range w.S {
+		s, ok := new(big.Int).SetString(hexS, 16)
+		if !ok {
+			return fmt.Errorf("ringsig: malformed scalar %d", i)
+		}
+		sig.S = append(sig.S, s)
+	}
+	sig.Image = w.Image
+	return nil
+}

@@ -1,0 +1,87 @@
+package ringsig
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"testing"
+)
+
+func TestPointJSONRoundTrip(t *testing.T) {
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(k.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Point
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(k.Public) {
+		t.Fatal("point round trip lost data")
+	}
+	// Zero point round trips.
+	var zero Point
+	data, err = json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotZero Point
+	if err := json.Unmarshal(data, &gotZero); err != nil {
+		t.Fatal(err)
+	}
+	if !gotZero.IsZero() {
+		t.Fatal("zero point round trip")
+	}
+}
+
+func TestPointJSONRejectsOffCurve(t *testing.T) {
+	var p Point
+	if err := json.Unmarshal([]byte(`{"x":"1","y":"1"}`), &p); err == nil {
+		t.Fatal("off-curve point must be rejected at decode")
+	}
+	if err := json.Unmarshal([]byte(`{"x":"zz","y":"1"}`), &p); err == nil {
+		t.Fatal("bad hex must be rejected")
+	}
+}
+
+func TestSignatureJSONRoundTrip(t *testing.T) {
+	keys, ring := genRing(t, 4)
+	msg := []byte("wire")
+	sig, err := Sign(rand.Reader, keys[1], ring, 1, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Signature
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	// The decoded signature must still verify.
+	if err := Verify(&got, ring, msg); err != nil {
+		t.Fatalf("decoded signature fails verification: %v", err)
+	}
+	if !Linked(sig, &got) {
+		t.Fatal("round trip must preserve the key image")
+	}
+}
+
+func TestSignatureJSONErrors(t *testing.T) {
+	var sig Signature
+	if err := json.Unmarshal([]byte(`{"c0":"zz","s":[],"image":{"x":"","y":""}}`), &sig); err == nil {
+		t.Fatal("bad c0 must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"c0":"1","s":["qq"],"image":{"x":"","y":""}}`), &sig); err == nil {
+		t.Fatal("bad scalar must be rejected")
+	}
+	var nilSig *Signature
+	data, err := json.Marshal(nilSig)
+	if err != nil || string(data) != "null" {
+		t.Fatalf("nil signature marshal = %s, %v", data, err)
+	}
+}

@@ -1,0 +1,157 @@
+package ringsig
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// genMatrix builds an n×m key matrix with the signer's keys at signerIdx.
+func genMatrix(t testing.TB, n, m, signerIdx int) ([]*PrivateKey, [][]Point) {
+	t.Helper()
+	keys := make([]*PrivateKey, m)
+	matrix := make([][]Point, n)
+	for i := range matrix {
+		matrix[i] = make([]Point, m)
+		for j := range matrix[i] {
+			k, err := GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matrix[i][j] = k.Public
+			if i == signerIdx {
+				keys[j] = k
+			}
+		}
+	}
+	return keys, matrix
+}
+
+func TestMultiSignVerifyRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{3, 1}, {4, 2}, {5, 3}} {
+		n, m := dims[0], dims[1]
+		for idx := 0; idx < n; idx++ {
+			keys, matrix := genMatrix(t, n, m, idx)
+			msg := []byte("multi-input spend")
+			sig, err := MultiSign(rand.Reader, keys, matrix, idx, msg)
+			if err != nil {
+				t.Fatalf("n=%d m=%d idx=%d: %v", n, m, idx, err)
+			}
+			if err := MultiVerify(sig, matrix, msg); err != nil {
+				t.Fatalf("n=%d m=%d idx=%d verify: %v", n, m, idx, err)
+			}
+		}
+	}
+}
+
+func TestMultiVerifyRejectsTampering(t *testing.T) {
+	keys, matrix := genMatrix(t, 4, 2, 1)
+	msg := []byte("m")
+	sig, err := MultiSign(rand.Reader, keys, matrix, 1, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MultiVerify(sig, matrix, []byte("other")); !errors.Is(err, ErrInvalidMulti) {
+		t.Fatalf("tampered msg err = %v", err)
+	}
+	bad := *sig
+	bad.S = make([][]*big.Int, len(sig.S))
+	copy(bad.S, sig.S)
+	row := make([]*big.Int, len(sig.S[0][:]))
+	copy(row, sig.S[0])
+	row[0] = new(big.Int).Add(row[0], big.NewInt(1))
+	row[0].Mod(row[0], Curve.Params().N)
+	bad.S[0] = row
+	if err := MultiVerify(&bad, matrix, msg); !errors.Is(err, ErrInvalidMulti) {
+		t.Fatalf("tampered scalar err = %v", err)
+	}
+	// Wrong matrix.
+	_, other := genMatrix(t, 4, 2, 0)
+	if err := MultiVerify(sig, other, msg); err == nil {
+		t.Fatal("foreign matrix must fail")
+	}
+}
+
+func TestMultiSignInputValidation(t *testing.T) {
+	keys, matrix := genMatrix(t, 3, 2, 0)
+	msg := []byte("m")
+	if _, err := MultiSign(rand.Reader, keys, matrix[:1], 0, msg); !errors.Is(err, ErrSmallRing) {
+		t.Fatalf("small ring err = %v", err)
+	}
+	if _, err := MultiSign(rand.Reader, keys[:1], matrix, 0, msg); !errors.Is(err, ErrBadKeyCount) {
+		t.Fatalf("key count err = %v", err)
+	}
+	if _, err := MultiSign(rand.Reader, keys, matrix, 2, msg); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("wrong row err = %v", err)
+	}
+	if _, err := MultiSign(rand.Reader, keys, matrix, -1, msg); !errors.Is(err, ErrNotInRing) {
+		t.Fatalf("negative idx err = %v", err)
+	}
+	ragged := [][]Point{matrix[0], matrix[1][:1], matrix[2]}
+	if _, err := MultiSign(rand.Reader, keys, ragged, 0, msg); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("ragged matrix err = %v", err)
+	}
+}
+
+func TestMultiLinkability(t *testing.T) {
+	keys, matrix := genMatrix(t, 3, 2, 0)
+	msg := []byte("m")
+	sig1, err := MultiSign(rand.Reader, keys, matrix, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same keys in a different matrix (different decoys): still linked.
+	_, matrix2 := genMatrix(t, 3, 2, 1)
+	for j := range keys {
+		matrix2[2][j] = keys[j].Public
+	}
+	keys2 := keys
+	sig2, err := MultiSign(rand.Reader, keys2, matrix2, 2, []byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !LinkedMulti(sig1, sig2) {
+		t.Fatal("re-spending the same inputs must link")
+	}
+	// Fresh keys: unlinked.
+	keys3, matrix3 := genMatrix(t, 3, 2, 0)
+	sig3, err := MultiSign(rand.Reader, keys3, matrix3, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LinkedMulti(sig1, sig3) {
+		t.Fatal("fresh inputs must not link")
+	}
+	if LinkedMulti(nil, sig1) {
+		t.Fatal("nil never links")
+	}
+}
+
+func TestMultiSingleColumnMatchesConcept(t *testing.T) {
+	// A 1-column MLSAG is a plain bLSAG: verify both accept the same setup.
+	keys, matrix := genMatrix(t, 4, 1, 2)
+	msg := []byte("single input")
+	msig, err := MultiSign(rand.Reader, keys, matrix, 2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MultiVerify(msig, matrix, msg); err != nil {
+		t.Fatal(err)
+	}
+	// The key image matches the single-layer construction's.
+	if !msig.Images[0].Equal(keys[0].KeyImage()) {
+		t.Fatal("key image must match the single-layer definition")
+	}
+}
+
+func BenchmarkMultiSign11x2(b *testing.B) {
+	keys, matrix := genMatrix(b, 11, 2, 0)
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiSign(rand.Reader, keys, matrix, 0, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

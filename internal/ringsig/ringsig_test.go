@@ -1,0 +1,228 @@
+package ringsig
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+func genRing(t testing.TB, n int) ([]*PrivateKey, []Point) {
+	t.Helper()
+	keys := make([]*PrivateKey, n)
+	ring := make([]Point, n)
+	for i := range keys {
+		k, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+		ring[i] = k.Public
+	}
+	return keys, ring
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	keys, ring := genRing(t, 5)
+	msg := []byte("spend token 42")
+	for idx := range keys {
+		sig, err := Sign(rand.Reader, keys[idx], ring, idx, msg)
+		if err != nil {
+			t.Fatalf("Sign(idx=%d): %v", idx, err)
+		}
+		if err := Verify(sig, ring, msg); err != nil {
+			t.Fatalf("Verify(idx=%d): %v", idx, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	keys, ring := genRing(t, 3)
+	sig, err := Sign(rand.Reader, keys[1], ring, 1, []byte("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sig, ring, []byte("tampered")); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tampered message: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestVerifyRejectsWrongRing(t *testing.T) {
+	keys, ring := genRing(t, 3)
+	_, other := genRing(t, 3)
+	msg := []byte("m")
+	sig, err := Sign(rand.Reader, keys[0], ring, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sig, other, msg); err == nil {
+		t.Fatal("verification against a different ring must fail")
+	}
+}
+
+func TestVerifyRejectsTamperedScalar(t *testing.T) {
+	keys, ring := genRing(t, 4)
+	msg := []byte("m")
+	sig, err := Sign(rand.Reader, keys[2], ring, 2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig.S[0] = new(big.Int).Add(sig.S[0], big.NewInt(1))
+	sig.S[0].Mod(sig.S[0], Curve.Params().N)
+	if err := Verify(sig, ring, msg); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tampered scalar: err = %v", err)
+	}
+}
+
+func TestVerifyRejectsOutOfRangeScalar(t *testing.T) {
+	keys, ring := genRing(t, 3)
+	msg := []byte("m")
+	sig, err := Sign(rand.Reader, keys[0], ring, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig.S[1] = new(big.Int).Add(Curve.Params().N, big.NewInt(5))
+	if err := Verify(sig, ring, msg); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("out-of-range scalar: err = %v", err)
+	}
+}
+
+func TestLinkability(t *testing.T) {
+	keys, ring := genRing(t, 4)
+	sig1, err := Sign(rand.Reader, keys[1], ring, 1, []byte("first spend"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := Sign(rand.Reader, keys[1], ring, 1, []byte("second spend"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Linked(sig1, sig2) {
+		t.Fatal("same key must produce linked signatures (double-spend detection)")
+	}
+	sig3, err := Sign(rand.Reader, keys[2], ring, 2, []byte("other signer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Linked(sig1, sig3) {
+		t.Fatal("different keys must not be linked")
+	}
+	if Linked(nil, sig1) || Linked(sig1, nil) {
+		t.Fatal("nil signatures are never linked")
+	}
+}
+
+func TestKeyImageDeterministic(t *testing.T) {
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, i2 := k.KeyImage(), k.KeyImage()
+	if !i1.Equal(i2) {
+		t.Fatal("key image must be deterministic")
+	}
+	if !Curve.IsOnCurve(i1.X, i1.Y) {
+		t.Fatal("key image must be on curve")
+	}
+}
+
+func TestSignErrors(t *testing.T) {
+	keys, ring := genRing(t, 3)
+	msg := []byte("m")
+	if _, err := Sign(rand.Reader, keys[0], ring[:1], 0, msg); !errors.Is(err, ErrSmallRing) {
+		t.Fatalf("small ring: err = %v", err)
+	}
+	if _, err := Sign(rand.Reader, keys[0], ring, 1, msg); !errors.Is(err, ErrNotInRing) {
+		t.Fatalf("wrong index: err = %v", err)
+	}
+	if _, err := Sign(rand.Reader, keys[0], ring, -1, msg); !errors.Is(err, ErrNotInRing) {
+		t.Fatalf("negative index: err = %v", err)
+	}
+	bad := append([]Point{}, ring...)
+	bad[2] = Point{X: big.NewInt(1), Y: big.NewInt(1)}
+	if _, err := Sign(rand.Reader, keys[0], bad, 0, msg); !errors.Is(err, ErrBadRingKeys) {
+		t.Fatalf("bad ring point: err = %v", err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	keys, ring := genRing(t, 3)
+	msg := []byte("m")
+	sig, err := Sign(rand.Reader, keys[0], ring, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(nil, ring, msg); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil signature: err = %v", err)
+	}
+	if err := Verify(sig, ring[:2], msg); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("ring size mismatch: err = %v", err)
+	}
+	badImage := *sig
+	badImage.Image = Point{X: big.NewInt(1), Y: big.NewInt(1)}
+	if err := Verify(&badImage, ring, msg); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("off-curve image: err = %v", err)
+	}
+}
+
+func TestHashToPointProperties(t *testing.T) {
+	k1, _ := GenerateKey(rand.Reader)
+	k2, _ := GenerateKey(rand.Reader)
+	p1 := hashToPoint(k1.Public)
+	p2 := hashToPoint(k2.Public)
+	if !Curve.IsOnCurve(p1.X, p1.Y) || !Curve.IsOnCurve(p2.X, p2.Y) {
+		t.Fatal("hashToPoint must land on the curve")
+	}
+	if p1.Equal(p2) {
+		t.Fatal("distinct keys should hash to distinct points")
+	}
+	if !hashToPoint(k1.Public).Equal(p1) {
+		t.Fatal("hashToPoint must be deterministic")
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	var zero Point
+	if !zero.IsZero() {
+		t.Fatal("zero point should be zero")
+	}
+	if len(zero.Bytes()) != 1 {
+		t.Fatal("zero point encoding should be sentinel")
+	}
+	k, _ := GenerateKey(rand.Reader)
+	if k.Public.IsZero() {
+		t.Fatal("generated key must not be zero")
+	}
+	if !k.Public.Equal(k.Public) {
+		t.Fatal("point must equal itself")
+	}
+	if k.Public.Equal(zero) || zero.Equal(k.Public) {
+		t.Fatal("point must not equal zero")
+	}
+}
+
+func BenchmarkSignRing11(b *testing.B) {
+	keys, ring := genRing(b, 11)
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(rand.Reader, keys[0], ring, 0, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyRing11(b *testing.B) {
+	keys, ring := genRing(b, 11)
+	msg := []byte("bench")
+	sig, err := Sign(rand.Reader, keys[0], ring, 0, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(sig, ring, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package rsgraph
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+)
+
+func TestCountCombinationsKnownValues(t *testing.T) {
+	// K3,3: 3 rings over the same 3 tokens → 3! = 6.
+	k33 := NewInstance([]Ring{ring(0, 1, 2, 3), ring(1, 1, 2, 3), ring(2, 1, 2, 3)})
+	got, err := k33.CountCombinations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("K3,3 count = %v, want 6", got)
+	}
+	// Infeasible: 2 rings over 1 token → 0.
+	bad := NewInstance([]Ring{ring(0, 1), ring(1, 1)})
+	got, err = bad.CountCombinations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sign() != 0 {
+		t.Fatalf("infeasible count = %v, want 0", got)
+	}
+	// Empty instance → 1 (the empty assignment).
+	got, err = NewInstance(nil).CountCombinations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty count = %v, want 1", got)
+	}
+}
+
+func TestCountCombinationsMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		nTok := 2 + rng.Intn(6)
+		nRing := 1 + rng.Intn(4)
+		rings := make([]Ring, nRing)
+		for i := range rings {
+			var toks []chain.TokenID
+			for len(toks) == 0 {
+				for tk := 0; tk < nTok; tk++ {
+					if rng.Intn(2) == 0 {
+						toks = append(toks, chain.TokenID(tk))
+					}
+				}
+			}
+			rings[i] = Ring{ID: chain.RSID(i), Tokens: chain.NewTokenSet(toks...)}
+		}
+		in := NewInstance(rings)
+		want, err := in.AllCombinations(EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.CountCombinations(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(int64(len(want)))) != 0 {
+			t.Fatalf("trial %d: count %v, enumeration %d", trial, got, len(want))
+		}
+	}
+}
+
+func TestCountCombinationsCaps(t *testing.T) {
+	in := NewInstance([]Ring{ring(0, 1, 2), ring(1, 1, 2)})
+	if _, err := in.CountCombinations(1); err == nil {
+		t.Fatal("maxRings cap must trigger")
+	}
+}
+
+func TestAnonymityEntropy(t *testing.T) {
+	// Single ring of 4 uniform candidates: entropy = log2(4) = 2 bits.
+	in := NewInstance([]Ring{ring(0, 1, 2, 3, 4)})
+	h, err := in.AnonymityEntropy(0, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-2) > 1e-9 {
+		t.Fatalf("entropy = %v, want 2", h)
+	}
+	// Fully determined ring: entropy 0.
+	in = NewInstance([]Ring{ring(0, 1), ring(1, 1, 2)})
+	h, err = in.AnonymityEntropy(0, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("determined ring entropy = %v, want 0", h)
+	}
+	// Infeasible instance errors.
+	in = NewInstance([]Ring{ring(0, 1), ring(1, 1)})
+	if _, err := in.AnonymityEntropy(0, EnumOptions{}); err == nil {
+		t.Fatal("infeasible instance must error")
+	}
+}
+
+// Entropy of a ring can only drop when more rings are published over the
+// same tokens (information monotonicity).
+func TestEntropyMonotoneUnderNewRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		base := []Ring{ring(0, 1, 2, 3, 4, 5)}
+		in := NewInstance(base)
+		h0, err := in.AnonymityEntropy(0, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add a ring over a random subset including some base tokens.
+		var toks []chain.TokenID
+		for tk := 1; tk <= 6; tk++ {
+			if rng.Intn(2) == 0 {
+				toks = append(toks, chain.TokenID(tk))
+			}
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		in2 := NewInstance(append(base, Ring{ID: 1, Tokens: chain.NewTokenSet(toks...)}))
+		if !in2.HasAssignment() {
+			continue
+		}
+		h1, err := in2.AnonymityEntropy(0, EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 > h0+1e-9 {
+			t.Fatalf("trial %d: entropy rose from %v to %v", trial, h0, h1)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package rsgraph
+
+import (
+	"sort"
+
+	"tokenmagic/internal/chain"
+)
+
+// RelatedIndex maintains the token-sharing connectivity of a growing set of
+// rings incrementally, so related-RS-set queries (Definition 1) cost near
+// O(α) amortised instead of the O(rings²) fixpoint scan RelatedSet performs.
+// It is a union-find over tokens: two tokens are in the same component iff
+// some chain of rings connects them; a ring's related set is then every ring
+// whose component matches.
+//
+// Use RelatedSet for one-shot queries over a slice; use RelatedIndex inside
+// long-lived services (the TokenMagic framework, the batch service) where
+// rings arrive one at a time.
+type RelatedIndex struct {
+	parent map[chain.TokenID]chain.TokenID
+	rank   map[chain.TokenID]int
+	// ringsByRoot accumulates ring ids per component root; roots are
+	// re-canonicalised lazily on query.
+	rings []indexedRing
+}
+
+type indexedRing struct {
+	id     chain.RSID
+	tokens chain.TokenSet
+}
+
+// NewRelatedIndex returns an empty index.
+func NewRelatedIndex() *RelatedIndex {
+	return &RelatedIndex{
+		parent: make(map[chain.TokenID]chain.TokenID),
+		rank:   make(map[chain.TokenID]int),
+	}
+}
+
+func (ix *RelatedIndex) find(t chain.TokenID) chain.TokenID {
+	p, ok := ix.parent[t]
+	if !ok {
+		ix.parent[t] = t
+		return t
+	}
+	if p == t {
+		return t
+	}
+	root := ix.find(p)
+	ix.parent[t] = root // path compression
+	return root
+}
+
+func (ix *RelatedIndex) union(a, b chain.TokenID) {
+	ra, rb := ix.find(a), ix.find(b)
+	if ra == rb {
+		return
+	}
+	if ix.rank[ra] < ix.rank[rb] {
+		ra, rb = rb, ra
+	}
+	ix.parent[rb] = ra
+	if ix.rank[ra] == ix.rank[rb] {
+		ix.rank[ra]++
+	}
+}
+
+// AddRing records a ring: all its tokens join one component.
+func (ix *RelatedIndex) AddRing(id chain.RSID, tokens chain.TokenSet) {
+	if len(tokens) == 0 {
+		return
+	}
+	first := tokens[0]
+	ix.find(first)
+	for _, t := range tokens[1:] {
+		ix.union(first, t)
+	}
+	ix.rings = append(ix.rings, indexedRing{id: id, tokens: tokens})
+}
+
+// Related returns the ids of all recorded rings connected (transitively,
+// through shared tokens) to any token of the candidate set, sorted. Rings
+// sharing no chain with the candidate are excluded; the candidate itself is
+// not a recorded ring and is never returned.
+func (ix *RelatedIndex) Related(candidate chain.TokenSet) []chain.RSID {
+	roots := make(map[chain.TokenID]bool, len(candidate))
+	for _, t := range candidate {
+		if _, seen := ix.parent[t]; seen {
+			roots[ix.find(t)] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	var out []chain.RSID
+	for _, r := range ix.rings {
+		if roots[ix.find(r.tokens[0])] {
+			out = append(out, r.id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ComponentSize returns the number of tokens in the component containing t
+// (0 if t was never seen). Useful as a cheap upper bound on how large a
+// related set can get before computing it.
+func (ix *RelatedIndex) ComponentSize(t chain.TokenID) int {
+	if _, seen := ix.parent[t]; !seen {
+		return 0
+	}
+	root := ix.find(t)
+	n := 0
+	for tok := range ix.parent {
+		if ix.find(tok) == root {
+			n++
+		}
+	}
+	return n
+}
+
+// Components returns the number of distinct connected components among all
+// recorded tokens.
+func (ix *RelatedIndex) Components() int {
+	roots := make(map[chain.TokenID]bool)
+	for t := range ix.parent {
+		roots[ix.find(t)] = true
+	}
+	return len(roots)
+}

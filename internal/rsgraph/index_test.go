@@ -1,0 +1,130 @@
+package rsgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+)
+
+func TestRelatedIndexBasics(t *testing.T) {
+	ix := NewRelatedIndex()
+	ix.AddRing(0, chain.NewTokenSet(1, 2, 5))
+	ix.AddRing(1, chain.NewTokenSet(1, 3))
+	ix.AddRing(2, chain.NewTokenSet(8, 9))
+
+	got := ix.Related(chain.NewTokenSet(2))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Related(t2) = %v, want [0 1]", got)
+	}
+	got = ix.Related(chain.NewTokenSet(9))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Related(t9) = %v, want [2]", got)
+	}
+	if got := ix.Related(chain.NewTokenSet(77)); got != nil {
+		t.Fatalf("Related(unknown) = %v, want nil", got)
+	}
+	if n := ix.Components(); n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if n := ix.ComponentSize(1); n != 4 { // {1,2,3,5}
+		t.Fatalf("ComponentSize(t1) = %d, want 4", n)
+	}
+	if n := ix.ComponentSize(99); n != 0 {
+		t.Fatalf("ComponentSize(unknown) = %d, want 0", n)
+	}
+}
+
+func TestRelatedIndexEmptyRingIgnored(t *testing.T) {
+	ix := NewRelatedIndex()
+	ix.AddRing(0, nil)
+	if got := ix.Related(chain.NewTokenSet(1)); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// The incremental index agrees with the one-shot RelatedSet closure on
+// random ledgers.
+func TestRelatedIndexMatchesRelatedSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 80; trial++ {
+		nTok := 5 + rng.Intn(15)
+		nRing := 1 + rng.Intn(8)
+		var records []chain.RingRecord
+		ix := NewRelatedIndex()
+		for i := 0; i < nRing; i++ {
+			var toks []chain.TokenID
+			for len(toks) == 0 {
+				for tk := 0; tk < nTok; tk++ {
+					if rng.Intn(4) == 0 {
+						toks = append(toks, chain.TokenID(tk))
+					}
+				}
+			}
+			rec := chain.RingRecord{ID: chain.RSID(i), Tokens: chain.NewTokenSet(toks...), Pos: i}
+			records = append(records, rec)
+			ix.AddRing(rec.ID, rec.Tokens)
+		}
+		var candidate chain.TokenSet
+		for len(candidate) == 0 {
+			for tk := 0; tk < nTok; tk++ {
+				if rng.Intn(5) == 0 {
+					candidate = append(candidate, chain.TokenID(tk))
+				}
+			}
+		}
+
+		want := RelatedSet(records, candidate)
+		got := ix.Related(candidate)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: index %v vs closure %v (candidate %v)", trial, got, idsOf(want), candidate)
+		}
+		for i, r := range want {
+			if got[i] != r.ID {
+				t.Fatalf("trial %d: index %v vs closure %v", trial, got, idsOf(want))
+			}
+		}
+	}
+}
+
+func idsOf(rs []chain.RingRecord) []chain.RSID {
+	out := make([]chain.RSID, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func BenchmarkRelatedSetClosure(b *testing.B) {
+	records, candidate := relatedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelatedSet(records, candidate)
+	}
+}
+
+func BenchmarkRelatedIndex(b *testing.B) {
+	records, candidate := relatedBenchData()
+	ix := NewRelatedIndex()
+	for _, r := range records {
+		ix.AddRing(r.ID, r.Tokens)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Related(candidate)
+	}
+}
+
+func relatedBenchData() ([]chain.RingRecord, chain.TokenSet) {
+	rng := rand.New(rand.NewSource(99))
+	var records []chain.RingRecord
+	for i := 0; i < 400; i++ {
+		var toks []chain.TokenID
+		base := rng.Intn(4000)
+		for k := 0; k < 11; k++ {
+			toks = append(toks, chain.TokenID((base+k*7)%4000))
+		}
+		records = append(records, chain.RingRecord{ID: chain.RSID(i), Tokens: chain.NewTokenSet(toks...), Pos: i})
+	}
+	return records, chain.NewTokenSet(1, 100, 2000)
+}

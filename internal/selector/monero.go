@@ -1,0 +1,77 @@
+package selector
+
+import (
+	"errors"
+	"math/rand"
+
+	"tokenmagic/internal/chain"
+)
+
+// MoneroParams configures the Monero-style SM sampler described in
+// Section 2.1: the user picks a ring size ζ (> 10 in Monero); half of the
+// mixins are drawn from "recent" tokens (blocks of the last ~1.8 days) and
+// the rest from older tokens, all uniformly at random. The sampler ignores
+// diversity and chain-reaction structure entirely — it is the production
+// status quo the paper improves on, included here so experiments can
+// measure exactly what that costs.
+type MoneroParams struct {
+	// Zeta is the ring size (consumed token + ζ−1 mixins). Monero uses 11.
+	Zeta int
+	// Recent is the pool of recently generated tokens; Older the rest.
+	// Either may be empty, in which case all mixins come from the other.
+	Recent chain.TokenSet
+	Older  chain.TokenSet
+}
+
+// ErrUniverseTooSmall is returned when the pools cannot fill the ring.
+var ErrUniverseTooSmall = errors.New("selector: not enough tokens for the requested ring size")
+
+// MoneroSample draws a ring for the target with the SM strategy. It never
+// fails for diversity reasons (it checks none); it fails only when the
+// pools are too small.
+func MoneroSample(target chain.TokenID, p MoneroParams, rng *rand.Rand) (Result, error) {
+	if p.Zeta < 2 {
+		return Result{}, errors.New("selector: ζ must be at least 2")
+	}
+	recent := p.Recent.Remove(target)
+	older := p.Older.Remove(target)
+	need := p.Zeta - 1
+	fromRecent := need / 2
+	if fromRecent > len(recent) {
+		fromRecent = len(recent)
+	}
+	fromOlder := need - fromRecent
+	if fromOlder > len(older) {
+		// Backfill from recent when the older pool is short.
+		spill := fromOlder - len(older)
+		fromOlder = len(older)
+		fromRecent += spill
+		if fromRecent > len(recent) {
+			return Result{}, ErrUniverseTooSmall
+		}
+	}
+	ring := chain.NewTokenSet(target)
+	for _, tok := range samplePool(recent, fromRecent, rng) {
+		ring = ring.Add(tok)
+	}
+	for _, tok := range samplePool(older, fromOlder, rng) {
+		ring = ring.Add(tok)
+	}
+	if len(ring) != p.Zeta {
+		return Result{}, ErrUniverseTooSmall
+	}
+	return Result{Tokens: ring, Modules: len(ring), Iterations: 1}, nil
+}
+
+// samplePool draws k distinct tokens from the pool uniformly at random.
+func samplePool(pool chain.TokenSet, k int, rng *rand.Rand) []chain.TokenID {
+	if k >= len(pool) {
+		return pool
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]chain.TokenID, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}

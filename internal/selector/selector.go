@@ -1,0 +1,257 @@
+// Package selector implements the paper's DA-MS solvers:
+//
+//   - BFS: the exact breadth-first search (Algorithm 2 + GetDTRSs), feasible
+//     only on small universes; it realises the full Definition-5 constraint
+//     set (diversity, non-eliminated, immutability) via exact enumeration.
+//   - Progressive: the two-phase greedy approximation (Algorithm 4) with
+//     ratio ε + q_M·z_M·10^γ (Theorem 6.5).
+//   - Game: the potential-game best-response algorithm (Algorithm 5),
+//     convergent in O(n³) (Theorem 6.6) with PoS ≤ 1 (Theorem 6.7).
+//   - Smallest, Random: the paper's two baselines (TM_S, TM_R).
+//
+// All practical solvers work under the paper's two practical configurations:
+// a new ring is a union of "modules" (super rings and fresh tokens,
+// Definitions 7–8), and its HT multiset must satisfy the headroom
+// requirement (c, ℓ+1) so that every DTRS retains (c, ℓ) (Theorem 6.4) and
+// existing rings keep their declared diversity (immutability for free).
+package selector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+)
+
+// Module is a selectable unit under the first practical configuration:
+// either one super ring signature or one fresh token.
+type Module struct {
+	Tokens chain.TokenSet
+	Fresh  bool       // true when the module is a single fresh token
+	Super  chain.RSID // the super ring's id when !Fresh
+}
+
+// Size returns |x_i|, the token count of the module.
+func (m Module) Size() int { return len(m.Tokens) }
+
+// Super is a super ring signature (Definition 7) with its subset count v.
+type Super struct {
+	Ring        chain.RingRecord
+	SubsetCount int // v: rings in R_π^T that are subsets of this ring (incl. itself)
+}
+
+// Decompose splits the related RS set over a universe into super rings and
+// fresh tokens (Definitions 7 and 8). rings must be in proposal order.
+// A ring is super when no later ring is a superset of it; a token is fresh
+// when no ring contains it.
+func Decompose(rings []chain.RingRecord, universe chain.TokenSet) (supers []Super, fresh chain.TokenSet) {
+	for i, ri := range rings {
+		isSuper := true
+		for j := i + 1; j < len(rings); j++ {
+			if ri.Tokens.SubsetOf(rings[j].Tokens) {
+				isSuper = false
+				break
+			}
+		}
+		if !isSuper {
+			continue
+		}
+		v := 0
+		for _, rj := range rings {
+			if rj.Tokens.SubsetOf(ri.Tokens) {
+				v++
+			}
+		}
+		supers = append(supers, Super{Ring: ri, SubsetCount: v})
+	}
+	covered := chain.TokenSet{}
+	for _, r := range rings {
+		covered = covered.Union(r.Tokens)
+	}
+	fresh = universe.Minus(covered)
+	return supers, fresh
+}
+
+// Problem is one modular DA-MS instance: choose a minimum-cardinality union
+// of modules containing the mandatory module such that the union's HT
+// multiset satisfies Req.
+type Problem struct {
+	// Target is the token being consumed.
+	Target chain.TokenID
+	// Mandatory is the module containing Target (its super ring, or the
+	// token itself when fresh). It is always part of the result.
+	Mandatory Module
+	// Candidates are the other selectable modules.
+	Candidates []Module
+	// Origin maps tokens to historical transactions.
+	Origin func(chain.TokenID) chain.TxID
+	// Req is the effective diversity requirement the result's HT multiset
+	// must satisfy. Callers wanting the second practical configuration pass
+	// the user requirement tightened via Requirement.WithHeadroom.
+	Req diversity.Requirement
+}
+
+// NewProblem assembles a Problem from a decomposition. It locates the module
+// containing target among supers/fresh and returns an error if the target is
+// not in the universe described by the decomposition.
+func NewProblem(target chain.TokenID, supers []Super, fresh chain.TokenSet, origin func(chain.TokenID) chain.TxID, req diversity.Requirement) (*Problem, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Problem{Target: target, Origin: origin, Req: req}
+	found := false
+	for _, s := range supers {
+		m := Module{Tokens: s.Ring.Tokens, Super: s.Ring.ID}
+		if s.Ring.Tokens.Contains(target) {
+			if found {
+				return nil, fmt.Errorf("selector: target %v in multiple super rings (configuration violated)", target)
+			}
+			p.Mandatory = m
+			found = true
+			continue
+		}
+		p.Candidates = append(p.Candidates, m)
+	}
+	for _, t := range fresh {
+		m := Module{Tokens: chain.NewTokenSet(t), Fresh: true}
+		if t == target {
+			if found {
+				return nil, fmt.Errorf("selector: target %v is both fresh and in a super ring", target)
+			}
+			p.Mandatory = m
+			found = true
+			continue
+		}
+		p.Candidates = append(p.Candidates, m)
+	}
+	if !found {
+		return nil, fmt.Errorf("selector: target %v not in universe", target)
+	}
+	return p, nil
+}
+
+// Result is a solved DA-MS instance.
+type Result struct {
+	// Tokens is the full new ring signature: the consuming token plus
+	// mixins, as the union of the chosen modules.
+	Tokens chain.TokenSet
+	// Modules is how many modules were chosen (including the mandatory one).
+	Modules int
+	// Iterations counts algorithm-specific work: greedy steps for
+	// Progressive/Smallest/Random, best-response passes for Game, candidate
+	// rings examined for BFS.
+	Iterations int
+}
+
+// Size returns the cardinality of the new ring.
+func (r Result) Size() int { return len(r.Tokens) }
+
+// ErrNoEligible is returned when no ring satisfying the constraints exists
+// over the given modules; per Section 4 the user should relax (c, ℓ) —
+// increase c or decrease ℓ — and retry.
+var ErrNoEligible = errors.New("selector: no eligible ring signature exists; relax the diversity requirement")
+
+// state tracks the running selection shared by the greedy algorithms.
+type state struct {
+	p        *Problem
+	tokens   chain.TokenSet
+	hist     *diversity.Histogram
+	selected []bool // over p.Candidates
+	modules  int
+	iters    int
+}
+
+func newState(p *Problem) *state {
+	return &state{
+		p:        p,
+		tokens:   p.Mandatory.Tokens.Clone(),
+		hist:     diversity.HistogramOf(p.Mandatory.Tokens, p.Origin),
+		selected: make([]bool, len(p.Candidates)),
+		modules:  1,
+	}
+}
+
+// add selects candidate i.
+func (st *state) add(i int) {
+	st.selected[i] = true
+	st.modules++
+	for _, t := range st.p.Candidates[i].Tokens {
+		st.hist.Add(st.p.Origin(t))
+	}
+	st.tokens = st.tokens.Union(st.p.Candidates[i].Tokens)
+}
+
+// remove deselects candidate i. Only valid when modules do not overlap
+// (guaranteed under the first practical configuration).
+func (st *state) remove(i int) {
+	st.selected[i] = false
+	st.modules--
+	for _, t := range st.p.Candidates[i].Tokens {
+		st.hist.Remove(st.p.Origin(t))
+	}
+	st.tokens = st.tokens.Minus(st.p.Candidates[i].Tokens)
+}
+
+func (st *state) result() Result {
+	return Result{Tokens: st.tokens, Modules: st.modules, Iterations: st.iters}
+}
+
+// newHTs counts |H_i \ H|: distinct HTs the module would newly contribute.
+func (st *state) newHTs(m Module) int {
+	seen := make(map[chain.TxID]bool, len(m.Tokens))
+	n := 0
+	for _, t := range m.Tokens {
+		h := st.p.Origin(t)
+		if !seen[h] && st.hist.Count(h) == 0 {
+			n++
+		}
+		seen[h] = true
+	}
+	return n
+}
+
+// slackWith returns δ_i: the requirement slack if module i were added.
+func (st *state) slackWith(i int) float64 {
+	h := st.hist.Clone()
+	for _, t := range st.p.Candidates[i].Tokens {
+		h.Add(st.p.Origin(t))
+	}
+	return h.Slack(st.p.Req)
+}
+
+// coverHTPhase runs the shared first phase of Progressive and Game
+// (Algorithm 4 lines 2–4 / Algorithm 5 lines 2–4): greedily add the module
+// with minimal α_i = |x_i| / min(ℓ−|H|, |H_i \ H|) until the selection spans
+// at least ℓ distinct HTs.
+func (st *state) coverHTPhase() error {
+	for st.hist.Classes() < st.p.Req.L {
+		st.iters++
+		need := st.p.Req.L - st.hist.Classes()
+		best := -1
+		bestAlpha := math.Inf(1)
+		for i, m := range st.p.Candidates {
+			if st.selected[i] {
+				continue
+			}
+			gain := st.newHTs(m)
+			if gain == 0 {
+				continue // α_i = ∞
+			}
+			denom := need
+			if gain < denom {
+				denom = gain
+			}
+			alpha := float64(m.Size()) / float64(denom)
+			if alpha < bestAlpha {
+				bestAlpha, best = alpha, i
+			}
+		}
+		if best == -1 {
+			return ErrNoEligible // universe cannot span ℓ distinct HTs
+		}
+		st.add(best)
+	}
+	return nil
+}

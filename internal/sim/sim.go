@@ -1,0 +1,235 @@
+// Package sim runs multi-user simulations of a batch's whole lifecycle: a
+// population of users with heterogeneous privacy requirements and selection
+// strategies spends tokens over simulated time while an adversary snapshots
+// the ledger periodically. It answers the questions the paper's single-shot
+// experiments cannot: how does anonymity evolve as a batch drains, when do
+// liveness rejections start, and how do strategy mixes interact on one
+// chain.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tokenmagic/internal/adversary"
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	itm "tokenmagic/internal/tokenmagic"
+	"tokenmagic/internal/workload"
+)
+
+// Strategy describes one user population segment.
+type Strategy struct {
+	// Name labels the segment in reports.
+	Name string
+	// Algorithm is the TokenMagic solver this segment uses; ignored when
+	// ZeroMixin is set.
+	Algorithm itm.Algorithm
+	// Req is the segment's diversity requirement.
+	Req diversity.Requirement
+	// ZeroMixin marks fee minimisers who submit bare singleton rings,
+	// bypassing selection entirely (the pre-RingCT behaviour).
+	ZeroMixin bool
+	// Weight is the segment's share of spend attempts (relative).
+	Weight int
+}
+
+// Config drives one simulation.
+type Config struct {
+	// Tokens in the simulated batch (all fresh at t=0).
+	Tokens int
+	// Sigma shapes the HT distribution of the batch (workload.Synthetic).
+	Sigma float64
+	// Strategies is the population mix; at least one, weights ≥ 1.
+	Strategies []Strategy
+	// Spends is the number of spend attempts over the run.
+	Spends int
+	// SnapshotEvery takes an adversary snapshot every k attempts (≥ 1).
+	SnapshotEvery int
+	// Eta configures the liveness guard of the shared framework.
+	Eta float64
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// Snapshot is the adversary's view at one point of simulated time.
+type Snapshot struct {
+	Attempt          int
+	RingsOnChain     int
+	Traced           int
+	HTRevealed       int
+	AvgAnonymity     float64
+	ProvablyConsumed int
+}
+
+// SegmentStats aggregates outcomes per strategy segment.
+type SegmentStats struct {
+	Name      string
+	Attempts  int
+	Committed int
+	Rejected  int
+	AvgSize   float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Snapshots []Snapshot
+	Segments  []SegmentStats
+	// Stranded counts tokens whose spend attempt failed terminally.
+	Stranded int
+}
+
+// Errors from configuration validation.
+var ErrBadConfig = errors.New("sim: invalid configuration")
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tokens < 2 || cfg.Spends < 1 || len(cfg.Strategies) == 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.SnapshotEvery < 1 {
+		cfg.SnapshotEvery = cfg.Spends / 10
+		if cfg.SnapshotEvery < 1 {
+			cfg.SnapshotEvery = 1
+		}
+	}
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = 8
+	}
+	totalWeight := 0
+	for _, s := range cfg.Strategies {
+		if s.Weight < 1 {
+			return nil, fmt.Errorf("%w: segment %q needs weight ≥ 1", ErrBadConfig, s.Name)
+		}
+		totalWeight += s.Weight
+	}
+
+	d, err := workload.Synthetic(workload.SyntheticParams{
+		NumSupers:    0,
+		SuperSizeMin: 1,
+		SuperSizeMax: 1,
+		NumFresh:     cfg.Tokens,
+		Sigma:        cfg.Sigma,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	origin := d.Origin()
+
+	// One shared framework per algorithm keeps the η bookkeeping common.
+	frameworks := make(map[itm.Algorithm]*itm.Framework)
+	fwFor := func(a itm.Algorithm) (*itm.Framework, error) {
+		if f, ok := frameworks[a]; ok {
+			return f, nil
+		}
+		f, err := itm.New(d.Ledger, itm.Config{
+			Lambda:    d.Ledger.NumTokens(),
+			Eta:       cfg.Eta,
+			Headroom:  true,
+			Algorithm: a,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		frameworks[a] = f
+		return f, nil
+	}
+
+	res := &Result{Segments: make([]SegmentStats, len(cfg.Strategies))}
+	sizeSums := make([]int, len(cfg.Strategies))
+	for i, s := range cfg.Strategies {
+		res.Segments[i].Name = s.Name
+	}
+	spent := make(map[chain.TokenID]bool)
+
+	pickSegment := func() int {
+		w := rng.Intn(totalWeight)
+		for i, s := range cfg.Strategies {
+			if w < s.Weight {
+				return i
+			}
+			w -= s.Weight
+		}
+		return len(cfg.Strategies) - 1
+	}
+	pickToken := func() (chain.TokenID, bool) {
+		// Uniform over unspent tokens; gives up after a bounded scan.
+		for tries := 0; tries < 4*len(d.Universe); tries++ {
+			t := d.Universe[rng.Intn(len(d.Universe))]
+			if !spent[t] {
+				return t, true
+			}
+		}
+		return chain.NoToken, false
+	}
+
+	for attempt := 1; attempt <= cfg.Spends; attempt++ {
+		si := pickSegment()
+		seg := &res.Segments[si]
+		seg.Attempts++
+		strat := cfg.Strategies[si]
+
+		target, ok := pickToken()
+		if !ok {
+			res.Stranded++
+			seg.Rejected++
+			continue
+		}
+
+		if strat.ZeroMixin {
+			// Bare singleton straight onto the ledger (no verification —
+			// modelling a permissive chain or a pre-upgrade era).
+			if _, err := d.Ledger.AppendRS(chain.NewTokenSet(target), strat.Req.C, strat.Req.L); err != nil {
+				return nil, err
+			}
+			spent[target] = true
+			seg.Committed++
+			sizeSums[si]++
+		} else {
+			f, err := fwFor(strat.Algorithm)
+			if err != nil {
+				return nil, err
+			}
+			_, sel, err := f.GenerateAndCommit(target, strat.Req)
+			if err != nil {
+				seg.Rejected++
+			} else {
+				spent[target] = true
+				seg.Committed++
+				sizeSums[si] += sel.Size()
+			}
+		}
+
+		if attempt%cfg.SnapshotEvery == 0 || attempt == cfg.Spends {
+			a := adversary.ChainReaction(d.Ledger.Rings(), nil, origin)
+			m := adversary.Summarise(a)
+			res.Snapshots = append(res.Snapshots, Snapshot{
+				Attempt:          attempt,
+				RingsOnChain:     m.Rings,
+				Traced:           m.Traced,
+				HTRevealed:       m.HTRevealed,
+				AvgAnonymity:     m.AvgAnonymity,
+				ProvablyConsumed: m.ConsumedTokens,
+			})
+		}
+	}
+	for i := range res.Segments {
+		if res.Segments[i].Committed > 0 {
+			res.Segments[i].AvgSize = float64(sizeSums[i]) / float64(res.Segments[i].Committed)
+		}
+	}
+	return res, nil
+}
+
+// DefaultMix returns a realistic population: most users on TM_P, a
+// fee-sensitive TM_G tail, and a small selfish zero-mixin fraction.
+func DefaultMix() []Strategy {
+	return []Strategy{
+		{Name: "TM_P users", Algorithm: itm.Progressive, Req: diversity.Requirement{C: 1, L: 3}, Weight: 6},
+		{Name: "TM_G users", Algorithm: itm.Game, Req: diversity.Requirement{C: 1, L: 3}, Weight: 3},
+		{Name: "zero-mixin", ZeroMixin: true, Req: diversity.Requirement{C: 10, L: 1}, Weight: 1},
+	}
+}

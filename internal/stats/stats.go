@@ -1,0 +1,120 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: mean, standard deviation and exact quantiles over small
+// samples. It exists so sweeps can report tail behaviour (p95 ring sizes and
+// solve times), which averages alone hide — the paper reports means; the
+// harness adds tails as a strict extension.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates float64 observations. The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration records a duration in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// between order statistics; 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P95 returns the 0.95-quantile.
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// Min and Max return the extremes (0 for empty samples).
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Summary is a compact digest of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Median float64
+	P95    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarise digests the sample.
+func (s *Sample) Summarise() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Median: s.Median(),
+		P95:    s.P95(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Median() != 0 ||
+		s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty sample should be all zeros: %+v", s.Summarise())
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !almost(s.Mean(), 5) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample stddev of that classic set is ≈ 2.138.
+	if math.Abs(s.StdDev()-2.1380899) > 1e-6 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+	if !almost(s.Median(), 4.5) {
+		t.Fatalf("median = %v", s.Median())
+	}
+	if !almost(s.Min(), 2) || !almost(s.Max(), 9) {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{10, 20, 30, 40} {
+		s.Add(x)
+	}
+	if !almost(s.Quantile(0), 10) || !almost(s.Quantile(1), 40) {
+		t.Fatal("extremes")
+	}
+	// 0.5 over 4 points: pos = 1.5 → 25.
+	if !almost(s.Quantile(0.5), 25) {
+		t.Fatalf("q50 = %v", s.Quantile(0.5))
+	}
+	// Out-of-range q clamps.
+	if !almost(s.Quantile(-1), 10) || !almost(s.Quantile(2), 40) {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	sum := s.Summarise()
+	if sum.N != 1 || sum.Mean != 7 || sum.Median != 7 || sum.P95 != 7 || sum.StdDev != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if !almost(s.Mean(), 1.5) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestAddAfterQuantileStaysCorrect(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	_ = s.Median() // forces sort
+	s.Add(2)
+	if !almost(s.Median(), 2) {
+		t.Fatalf("median after late add = %v", s.Median())
+	}
+}
+
+// Properties: min ≤ median ≤ p95 ≤ max; mean within [min, max].
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < 1+rng.Intn(50); i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		sum := s.Summarise()
+		return sum.Min <= sum.Median+1e-9 &&
+			sum.Median <= sum.P95+1e-9 &&
+			sum.P95 <= sum.Max+1e-9 &&
+			sum.Mean >= sum.Min-1e-9 && sum.Mean <= sum.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package tokenmagic implements the paper's TokenMagic framework
+// (Section 4, Algorithm 1): the layer that turns the raw DA-MS solvers into
+// a deployable mixin-selection pipeline.
+//
+//   - Batching: the chain is partitioned into disjoint, sequential batches
+//     of ≈λ tokens; a token's mixin universe is its own batch, which bounds
+//     every related RS set by the batch size.
+//   - Candidate randomisation: to stop adversaries inverting the selection
+//     algorithm, Algorithm 1 generates a candidate ring for every token in
+//     the batch and returns a uniformly random one among those containing
+//     the consuming token.
+//   - Liveness (η guard): a new ring is admitted only if, with i+1 rings
+//     over the batch, the number of provably-consumed tokens μ stays within
+//     i+1 − η·(|T| − i − 1), so later users can still find eligible rings.
+//   - Step-3 verification: miners re-check the practical configurations
+//     (superset-or-disjoint, headroom diversity, closed-form DTRS
+//     diversity) before accepting a ring.
+package tokenmagic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"tokenmagic/internal/adversary"
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/dtrs"
+	"tokenmagic/internal/selector"
+)
+
+// Algorithm selects which DA-MS solver the framework runs.
+type Algorithm int
+
+// The available solvers. TM_P and TM_G are the paper's contributions; TM_S
+// and TM_R its baselines; TM_B the exact search for small batches.
+const (
+	Progressive Algorithm = iota // TM_P
+	Game                         // TM_G
+	Smallest                     // TM_S
+	RandomPick                   // TM_R
+	BFS                          // TM_B
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Progressive:
+		return "TM_P"
+	case Game:
+		return "TM_G"
+	case Smallest:
+		return "TM_S"
+	case RandomPick:
+		return "TM_R"
+	case BFS:
+		return "TM_B"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config tunes the framework.
+type Config struct {
+	// Lambda is the batch size parameter λ (tokens per batch).
+	Lambda int
+	// Eta is the liveness parameter η ∈ [0, 1]; 0 disables the guard.
+	Eta float64
+	// Headroom applies the second practical configuration: solve for
+	// (c, ℓ+1) so every DTRS keeps (c, ℓ) and immutability holds for free.
+	Headroom bool
+	// Algorithm picks the solver.
+	Algorithm Algorithm
+	// Randomize enables Algorithm 1's per-token candidate sampling. When
+	// false, GenerateRS runs exactly one solve for the consuming token —
+	// what the paper's timing figures measure.
+	Randomize bool
+}
+
+// DefaultConfig mirrors the paper's deployment defaults: Monero-scale
+// batches, headroom on, Progressive solver.
+func DefaultConfig() Config {
+	return Config{Lambda: 800, Eta: 0.1, Headroom: true, Algorithm: Progressive}
+}
+
+// Framework wires a ledger, its batch list and the per-batch liveness
+// bookkeeping together.
+type Framework struct {
+	cfg     Config
+	ledger  *chain.Ledger
+	batches *chain.BatchList
+	origin  func(chain.TokenID) chain.TxID
+	guards  map[int]*adversary.NeighborSets // batch index → guard state
+	rng     *rand.Rand
+
+	// decomp caches the module decomposition per batch; it is recomputed
+	// whenever the ledger's ring count moves (every Commit invalidates).
+	// Candidate sampling solves once per batch token, so without the cache
+	// Algorithm 1 re-runs RingsOver+Decompose |T| times per spend.
+	decompMu sync.Mutex
+	decomp   map[int]*decompCache
+}
+
+type decompCache struct {
+	ringCount int // ledger.NumRS() when filled
+	rings     []chain.RingRecord
+	supers    []selector.Super
+	fresh     chain.TokenSet
+}
+
+// Errors surfaced by the framework.
+var (
+	ErrLiveness   = errors.New("tokenmagic: admitting this ring would starve future users (η guard)")
+	ErrConfig     = errors.New("tokenmagic: ring violates the practical configuration")
+	ErrDiversity  = errors.New("tokenmagic: ring violates its declared diversity requirement")
+	ErrSpentBatch = errors.New("tokenmagic: no candidate ring available for this token")
+)
+
+// New builds a framework over the ledger. rng drives candidate sampling and
+// must be non-nil when cfg.Randomize is set.
+func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
+	batches, err := chain.BuildBatches(ledger, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Eta < 0 || cfg.Eta > 1 {
+		return nil, fmt.Errorf("tokenmagic: η must be in [0,1], got %v", cfg.Eta)
+	}
+	f := &Framework{
+		cfg:     cfg,
+		ledger:  ledger,
+		batches: batches,
+		origin:  ledger.OriginFunc(),
+		guards:  make(map[int]*adversary.NeighborSets),
+		rng:     rng,
+	}
+	// Replay existing rings into their batch guards.
+	for _, r := range ledger.Rings() {
+		if b, err := batches.BatchOf(r.Tokens[0]); err == nil {
+			f.guard(b.Index).Append(r)
+		}
+	}
+	return f, nil
+}
+
+func (f *Framework) guard(batch int) *adversary.NeighborSets {
+	g, ok := f.guards[batch]
+	if !ok {
+		g = adversary.NewNeighborSets()
+		f.guards[batch] = g
+	}
+	return g
+}
+
+// Batches exposes the batch list (read-only use).
+func (f *Framework) Batches() *chain.BatchList { return f.batches }
+
+// effectiveReq applies the headroom configuration.
+func (f *Framework) effectiveReq(req diversity.Requirement) diversity.Requirement {
+	if f.cfg.Headroom {
+		return req.WithHeadroom()
+	}
+	return req
+}
+
+// problemFor assembles the modular problem for one consuming token, using
+// the cached per-batch decomposition when the ledger has not grown since it
+// was computed.
+func (f *Framework) problemFor(target chain.TokenID, req diversity.Requirement) (*selector.Problem, chain.TokenSet, error) {
+	b, err := f.batches.BatchOf(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	dc := f.decompFor(b)
+	p, err := selector.NewProblem(target, dc.supers, dc.fresh, f.origin, f.effectiveReq(req))
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, b.Tokens, nil
+}
+
+// decompFor returns the batch's decomposition, refreshing it if stale.
+func (f *Framework) decompFor(b chain.Batch) *decompCache {
+	f.decompMu.Lock()
+	defer f.decompMu.Unlock()
+	if f.decomp == nil {
+		f.decomp = make(map[int]*decompCache)
+	}
+	cur := f.ledger.NumRS()
+	if dc, ok := f.decomp[b.Index]; ok && dc.ringCount == cur {
+		return dc
+	}
+	rings := f.ledger.RingsOver(b.Tokens)
+	supers, fresh := selector.Decompose(rings, b.Tokens)
+	dc := &decompCache{ringCount: cur, rings: rings, supers: supers, fresh: fresh}
+	f.decomp[b.Index] = dc
+	return dc
+}
+
+// solve dispatches to the configured solver.
+func (f *Framework) solve(p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+	switch f.cfg.Algorithm {
+	case Progressive:
+		return selector.Progressive(p)
+	case Game:
+		return selector.Game(p)
+	case Smallest:
+		return selector.Smallest(p)
+	case RandomPick:
+		if f.rng == nil {
+			return selector.Result{}, errors.New("tokenmagic: TM_R requires an rng")
+		}
+		return selector.Random(p, f.rng)
+	case BFS:
+		return selector.BFS(&selector.ExactProblem{
+			Target:   target,
+			Universe: universe,
+			Rings:    f.ledger.RingsOver(universe),
+			Origin:   f.origin,
+			Req:      req, // exact solver enforces DTRS diversity itself
+		})
+	default:
+		return selector.Result{}, fmt.Errorf("tokenmagic: unknown algorithm %v", f.cfg.Algorithm)
+	}
+}
+
+// GenerateRS produces an eligible ring for consuming target under req
+// (Algorithm 1). With cfg.Randomize set, it generates a candidate per batch
+// token and picks uniformly among those containing target; otherwise it runs
+// a single solve.
+func (f *Framework) GenerateRS(target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+	if err := req.Validate(); err != nil {
+		return selector.Result{}, err
+	}
+	if !f.cfg.Randomize {
+		p, universe, err := f.problemFor(target, req)
+		if err != nil {
+			return selector.Result{}, err
+		}
+		return f.solve(p, universe, target, req)
+	}
+	if f.rng == nil {
+		return selector.Result{}, errors.New("tokenmagic: candidate sampling requires an rng")
+	}
+	universe, err := f.batches.Universe(target)
+	if err != nil {
+		return selector.Result{}, err
+	}
+	candidates := f.sampleCandidates(universe, target, req)
+	if len(candidates) == 0 {
+		return selector.Result{}, ErrSpentBatch
+	}
+	return candidates[f.rng.Intn(len(candidates))], nil
+}
+
+// sampleCandidates runs Algorithm 1 lines 2–6: one solve per batch token,
+// keeping the candidates containing the consuming token. Solves for
+// different tokens are independent, so they fan out over a bounded worker
+// pool; results are gathered in token order so the subsequent random pick
+// stays deterministic per seed. TM_R is excluded from parallel sampling
+// because its solver consumes the shared rng.
+func (f *Framework) sampleCandidates(universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) []selector.Result {
+	parallel := f.cfg.Algorithm != RandomPick
+	results := make([]*selector.Result, len(universe))
+	work := func(i int) {
+		t := universe[i]
+		p, u, err := f.problemFor(t, req)
+		if err != nil {
+			return
+		}
+		res, err := f.solve(p, u, t, req)
+		if err != nil || !res.Tokens.Contains(target) {
+			return
+		}
+		results[i] = &res
+	}
+	if !parallel {
+		for i := range universe {
+			work(i)
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(universe) {
+			workers = len(universe)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					work(i)
+				}
+			}()
+		}
+		for i := range universe {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var out []selector.Result
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// Commit validates a generated ring and appends it to the ledger, updating
+// the batch's liveness state. It returns the new RSID.
+func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (chain.RSID, error) {
+	if err := f.VerifyRS(tokens, req); err != nil {
+		return -1, err
+	}
+	id, err := f.ledger.AppendRS(tokens, req.C, req.L)
+	if err != nil {
+		return -1, err
+	}
+	rec, _ := f.ledger.RS(id)
+	if b, err := f.batches.BatchOf(tokens[0]); err == nil {
+		f.guard(b.Index).Append(rec)
+	}
+	return id, nil
+}
+
+// VerifyRS performs the Step-3 miner checks on a proposed ring: the
+// practical configuration (superset-or-disjoint with every existing ring,
+// all tokens in one batch), the declared diversity with headroom, the
+// closed-form DTRS diversity, and the η liveness guard.
+func (f *Framework) VerifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if len(tokens) == 0 {
+		return chain.ErrEmptyRing
+	}
+	b, err := f.batches.BatchOf(tokens[0])
+	if err != nil {
+		return err
+	}
+	if !tokens.SubsetOf(b.Tokens) {
+		return fmt.Errorf("%w: ring spans multiple batches", ErrConfig)
+	}
+
+	rings := f.ledger.RingsOver(b.Tokens)
+	subsetCount := 1 // the new ring itself
+	for _, r := range rings {
+		switch {
+		case r.Tokens.SubsetOf(tokens):
+			subsetCount++
+		case r.Tokens.Disjoint(tokens):
+		default:
+			return fmt.Errorf("%w: ring neither contains nor avoids %v", ErrConfig, r.ID)
+		}
+	}
+
+	eff := f.effectiveReq(req)
+	if !diversity.SatisfiesTokens(tokens, f.origin, eff) {
+		return fmt.Errorf("%w: HT multiset fails %v", ErrDiversity, eff)
+	}
+	// Closed-form DTRS check (Theorem 6.1): with headroom this is implied
+	// (Theorem 6.4) but cheap enough that miners verify it regardless.
+	if !dtrs.AllSatisfyClosedForm(tokens, subsetCount, f.origin, req) {
+		return fmt.Errorf("%w: a DTRS fails %v", ErrDiversity, req)
+	}
+
+	if f.cfg.Eta > 0 {
+		g := f.guard(b.Index)
+		effSize := len(b.Tokens)
+		if effSize < f.cfg.Lambda {
+			// Trailing under-full batch: the paper scores |T| as λ+λ'−1
+			// because more tokens will land in the batch before it closes.
+			effSize = f.cfg.Lambda + effSize - 1
+		}
+		i := g.RingCount() + 1
+		mu := g.WouldConsume(chain.RingRecord{ID: chain.RSID(f.ledger.NumRS()), Tokens: tokens})
+		// Section 4: the number of inferable consumed tokens must not
+		// exceed i − η·(|T| − i). The bound is clamped at zero so early
+		// rings that prove nothing (μ = 0) are always admissible.
+		bound := float64(i) - f.cfg.Eta*float64(effSize-i)
+		if bound < 0 {
+			bound = 0
+		}
+		if float64(mu) > bound {
+			return fmt.Errorf("%w: i=%d μ=%d |T|=%d η=%v", ErrLiveness, i, mu, effSize, f.cfg.Eta)
+		}
+	}
+	return nil
+}
+
+// RelaxationPolicy controls GenerateRSRelaxed's retry ladder. Section 4:
+// when no eligible ring exists, "users can relax the diversity requirement
+// by increasing c or decreasing ℓ" and retry.
+type RelaxationPolicy struct {
+	// CStep is added to c on each relaxation step (0 disables c steps).
+	CStep float64
+	// LStep is subtracted from ℓ on each relaxation step (0 disables).
+	LStep int
+	// MaxSteps bounds the ladder; 0 means 8.
+	MaxSteps int
+	// MinL is the floor for ℓ (default 1).
+	MinL int
+}
+
+func (p RelaxationPolicy) withDefaults() RelaxationPolicy {
+	if p.MaxSteps == 0 {
+		p.MaxSteps = 8
+	}
+	if p.MinL < 1 {
+		p.MinL = 1
+	}
+	return p
+}
+
+// GenerateRSRelaxed tries the requested requirement and, on ErrNoEligible,
+// walks the relaxation ladder until a ring exists or the ladder is
+// exhausted. It returns the result together with the requirement that was
+// actually achieved, which the caller should declare when committing.
+func (f *Framework) GenerateRSRelaxed(target chain.TokenID, req diversity.Requirement, policy RelaxationPolicy) (selector.Result, diversity.Requirement, error) {
+	policy = policy.withDefaults()
+	cur := req
+	var lastErr error
+	for step := 0; step <= policy.MaxSteps; step++ {
+		res, err := f.GenerateRS(target, cur)
+		if err == nil {
+			return res, cur, nil
+		}
+		if !errors.Is(err, selector.ErrNoEligible) {
+			return selector.Result{}, cur, err
+		}
+		lastErr = err
+		next := cur
+		next.C += policy.CStep
+		if next.L-policy.LStep >= policy.MinL {
+			next.L -= policy.LStep
+		}
+		if next == cur {
+			break // policy cannot relax further
+		}
+		cur = next
+	}
+	return selector.Result{}, cur, fmt.Errorf("tokenmagic: relaxation ladder exhausted: %w", lastErr)
+}
+
+// GenerateAndCommit is the common happy path: generate, then commit.
+func (f *Framework) GenerateAndCommit(target chain.TokenID, req diversity.Requirement) (chain.RSID, selector.Result, error) {
+	res, err := f.GenerateRS(target, req)
+	if err != nil {
+		return -1, selector.Result{}, err
+	}
+	id, err := f.Commit(res.Tokens, req)
+	if err != nil {
+		return -1, res, err
+	}
+	return id, res, nil
+}

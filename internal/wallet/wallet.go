@@ -1,0 +1,333 @@
+// Package wallet is the client-side layer above mixin selection: it tracks
+// which tokens the user owns (with their private keys and amounts), selects
+// coins to cover a payment amount, runs diversity-aware mixin selection for
+// each consumed token, and signs either one single-input ring per token or
+// one multilayer (MLSAG) ring signature covering all inputs at once.
+//
+// The wallet never talks to the chain directly; it produces node.Submission
+// values that a validating node (internal/node) admits and mines, keeping
+// the paper's Step-1/2 (client) vs Step-3 (miner) split explicit.
+package wallet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/node"
+	"tokenmagic/internal/ringsig"
+	"tokenmagic/internal/selector"
+)
+
+// OwnedToken is a token the wallet controls.
+type OwnedToken struct {
+	ID     chain.TokenID
+	Amount uint64
+	Key    *ringsig.PrivateKey
+}
+
+// Wallet holds the user's tokens and selection policy.
+type Wallet struct {
+	tokens map[chain.TokenID]*OwnedToken
+	spent  map[chain.TokenID]bool
+	// Req is the wallet's privacy policy applied to every ring.
+	Req diversity.Requirement
+	// FeePerToken prices ring size, the paper's fee model.
+	FeePerToken uint64
+	// Rng drives nothing today but reserves a seat for randomized
+	// selection policies; may be nil.
+	Rng *rand.Rand
+}
+
+// New creates an empty wallet with the given privacy policy.
+func New(req diversity.Requirement, feePerToken uint64) *Wallet {
+	return &Wallet{
+		tokens:      make(map[chain.TokenID]*OwnedToken),
+		spent:       make(map[chain.TokenID]bool),
+		Req:         req,
+		FeePerToken: feePerToken,
+	}
+}
+
+// Errors surfaced by wallet operations.
+var (
+	ErrInsufficient = errors.New("wallet: insufficient funds")
+	ErrNotOwned     = errors.New("wallet: token not owned")
+	ErrAlreadySpent = errors.New("wallet: token already spent")
+)
+
+// Receive registers a token the user now controls.
+func (w *Wallet) Receive(t OwnedToken) {
+	cp := t
+	w.tokens[t.ID] = &cp
+}
+
+// Balance returns the spendable sum.
+func (w *Wallet) Balance() uint64 {
+	var total uint64
+	for id, t := range w.tokens {
+		if !w.spent[id] {
+			total += t.Amount
+		}
+	}
+	return total
+}
+
+// SelectCoins picks unspent tokens covering amount, largest first (fewest
+// inputs → fewest rings → lowest fees under the paper's model).
+func (w *Wallet) SelectCoins(amount uint64) ([]*OwnedToken, error) {
+	var candidates []*OwnedToken
+	for id, t := range w.tokens {
+		if !w.spent[id] {
+			candidates = append(candidates, t)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if candidates[a].Amount != candidates[b].Amount {
+			return candidates[a].Amount > candidates[b].Amount
+		}
+		return candidates[a].ID < candidates[b].ID
+	})
+	var chosen []*OwnedToken
+	var covered uint64
+	for _, t := range candidates {
+		if covered >= amount {
+			break
+		}
+		chosen = append(chosen, t)
+		covered += t.Amount
+	}
+	if covered < amount {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, covered, amount)
+	}
+	return chosen, nil
+}
+
+// ChainView is what the wallet needs to know about the chain to select
+// mixins: the mixin universe of a token's batch, the related rings, the
+// token→HT map and the public key of any token (for ring assembly). A light
+// node backs this with batchsvc; tests back it with a ledger directly.
+type ChainView interface {
+	Universe(t chain.TokenID) (chain.TokenSet, error)
+	Rings(universe chain.TokenSet) []chain.RingRecord
+	Origin() func(chain.TokenID) chain.TxID
+	PublicKey(t chain.TokenID) (ringsig.Point, error)
+}
+
+// Payment is a prepared multi-ring payment: one submission per consumed
+// token (single-input mode).
+type Payment struct {
+	Submissions []node.Submission
+	TotalFee    uint64
+	Amount      uint64
+	Change      uint64
+}
+
+// Pay prepares a payment of amount: coin selection, one diversity-aware
+// ring + signature per input. rng supplies signature nonces.
+func (w *Wallet) Pay(view ChainView, amount uint64, rng io.Reader) (*Payment, error) {
+	coins, err := w.SelectCoins(amount)
+	if err != nil {
+		return nil, err
+	}
+	pay := &Payment{Amount: amount}
+	var covered uint64
+	for _, coin := range coins {
+		ringTokens, err := w.selectRing(view, coin.ID)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := w.signSingle(view, coin, ringTokens, rng)
+		if err != nil {
+			return nil, err
+		}
+		pay.Submissions = append(pay.Submissions, sub)
+		pay.TotalFee += sub.Fee
+		covered += coin.Amount
+		w.spent[coin.ID] = true
+	}
+	pay.Change = covered - amount
+	return pay, nil
+}
+
+// MultiPayment is a prepared single-signature multi-input payment.
+type MultiPayment struct {
+	Rings     []chain.TokenSet // one ring per input, equal sizes
+	Matrix    [][]ringsig.Point
+	Signature *ringsig.MultiSignature
+	TotalFee  uint64
+	Amount    uint64
+	Change    uint64
+}
+
+// PayMulti prepares a payment with one MLSAG signature across all inputs.
+// Each input still gets its own diversity-aware ring; rings are truncated
+// or padded to a common size (the matrix must be rectangular), keeping each
+// input's consumed token at the same hidden row.
+func (w *Wallet) PayMulti(view ChainView, amount uint64, rng io.Reader) (*MultiPayment, error) {
+	coins, err := w.SelectCoins(amount)
+	if err != nil {
+		return nil, err
+	}
+	mp := &MultiPayment{Amount: amount}
+	var covered uint64
+
+	// Select a ring per input.
+	var rings []chain.TokenSet
+	for _, coin := range coins {
+		ringTokens, err := w.selectRing(view, coin.ID)
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, ringTokens)
+		covered += coin.Amount
+	}
+	// Uniform row count: pad shorter rings with repeats of their own
+	// mixins is unsound (duplicate keys); instead truncate to the minimum
+	// size while keeping each input's own token.
+	rows := len(rings[0])
+	for _, r := range rings[1:] {
+		if len(r) < rows {
+			rows = len(r)
+		}
+	}
+	if rows < 2 {
+		return nil, selector.ErrNoEligible
+	}
+	matrix := make([][]ringsig.Point, rows)
+	for i := range matrix {
+		matrix[i] = make([]ringsig.Point, len(coins))
+	}
+	// The signer's hidden row index, shared by all columns.
+	signerRow := 0
+	keys := make([]*ringsig.PrivateKey, len(coins))
+	for j, coin := range coins {
+		ring := rings[j]
+		// Order the column: consumed token at signerRow, mixins fill the
+		// rest in token order.
+		var column []chain.TokenID
+		for _, tok := range ring {
+			if tok != coin.ID {
+				column = append(column, tok)
+			}
+		}
+		column = column[:rows-1]
+		// Insert the real token at signerRow.
+		ordered := make([]chain.TokenID, 0, rows)
+		ordered = append(ordered, column[:signerRow]...)
+		ordered = append(ordered, coin.ID)
+		ordered = append(ordered, column[signerRow:]...)
+		finalRing := chain.NewTokenSet(ordered...)
+		mp.Rings = append(mp.Rings, finalRing)
+		for i, tok := range ordered {
+			pk, err := view.PublicKey(tok)
+			if err != nil {
+				return nil, err
+			}
+			matrix[i][j] = pk
+		}
+		keys[j] = coin.Key
+		mp.TotalFee += uint64(rows) * w.FeePerToken
+	}
+	msg := multiMessage(mp.Rings)
+	sig, err := ringsig.MultiSign(rng, keys, matrix, signerRow, msg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ringsig.MultiVerify(sig, matrix, msg); err != nil {
+		return nil, fmt.Errorf("wallet: self-verification failed: %w", err)
+	}
+	mp.Matrix = matrix
+	mp.Signature = sig
+	mp.Change = covered - amount
+	for _, coin := range coins {
+		w.spent[coin.ID] = true
+	}
+	return mp, nil
+}
+
+func multiMessage(rings []chain.TokenSet) []byte {
+	return []byte(fmt.Sprintf("multi-spend over %v", rings))
+}
+
+// selectRing runs diversity-aware mixin selection for one consumed token.
+func (w *Wallet) selectRing(view ChainView, target chain.TokenID) (chain.TokenSet, error) {
+	universe, err := view.Universe(target)
+	if err != nil {
+		return nil, err
+	}
+	rings := view.Rings(universe)
+	supers, fresh := selector.Decompose(rings, universe)
+	p, err := selector.NewProblem(target, supers, fresh, view.Origin(), w.Req.WithHeadroom())
+	if err != nil {
+		return nil, err
+	}
+	res, err := selector.Progressive(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tokens, nil
+}
+
+// signSingle assembles a single-input submission for one coin.
+func (w *Wallet) signSingle(view ChainView, coin *OwnedToken, ring chain.TokenSet, rng io.Reader) (node.Submission, error) {
+	pubs := make([]ringsig.Point, len(ring))
+	signer := -1
+	for i, tok := range ring {
+		pk, err := view.PublicKey(tok)
+		if err != nil {
+			return node.Submission{}, err
+		}
+		pubs[i] = pk
+		if tok == coin.ID {
+			signer = i
+		}
+	}
+	sig, err := ringsig.Sign(rng, coin.Key, pubs, signer, node.Message(ring))
+	if err != nil {
+		return node.Submission{}, err
+	}
+	return node.Submission{
+		Tokens:    ring,
+		Req:       w.Req,
+		Keys:      pubs,
+		Signature: sig,
+		Fee:       uint64(len(ring)) * w.FeePerToken,
+	}, nil
+}
+
+// LedgerView adapts a full ledger (plus a key directory) into a ChainView;
+// the common test and full-node configuration.
+type LedgerView struct {
+	Ledger  *chain.Ledger
+	Batches *chain.BatchList
+	Keys    map[chain.TokenID]ringsig.Point
+}
+
+// Universe returns the batch universe of t.
+func (v *LedgerView) Universe(t chain.TokenID) (chain.TokenSet, error) {
+	return v.Batches.Universe(t)
+}
+
+// Rings returns the rings over the universe.
+func (v *LedgerView) Rings(universe chain.TokenSet) []chain.RingRecord {
+	return v.Ledger.RingsOver(universe)
+}
+
+// Origin returns the ledger's token→HT map.
+func (v *LedgerView) Origin() func(chain.TokenID) chain.TxID {
+	return v.Ledger.OriginFunc()
+}
+
+// PublicKey returns a token's public key.
+func (v *LedgerView) PublicKey(t chain.TokenID) (ringsig.Point, error) {
+	pk, ok := v.Keys[t]
+	if !ok {
+		return ringsig.Point{}, fmt.Errorf("%w: %v", ErrNotOwned, t)
+	}
+	return pk, nil
+}

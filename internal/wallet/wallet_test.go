@@ -1,0 +1,161 @@
+package wallet
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/node"
+	"tokenmagic/internal/ringsig"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// fixture builds a chain of nTx 2-output transactions, a key directory, a
+// ChainView and a wallet owning the even-indexed tokens with the given
+// amounts pattern.
+func fixture(t *testing.T, nTx int) (*Wallet, *LedgerView, *chain.Ledger) {
+	t.Helper()
+	l := chain.NewLedger()
+	b := l.BeginBlock()
+	keys := make(map[chain.TokenID]ringsig.Point)
+	priv := make(map[chain.TokenID]*ringsig.PrivateKey)
+	for i := 0; i < nTx; i++ {
+		txid, err := l.AddTxAmounts(b, []uint64{10, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := l.Tx(txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tok := range tx.Outputs {
+			k, err := ringsig.GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys[tok] = k.Public
+			priv[tok] = k
+		}
+	}
+	batches, err := chain.BuildBatches(l, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := &LedgerView{Ledger: l, Batches: batches, Keys: keys}
+
+	w := New(diversity.Requirement{C: 1, L: 3}, 1)
+	for i := 0; i < nTx; i++ {
+		tok := chain.TokenID(i * 2) // own the 10-amount outputs
+		w.Receive(OwnedToken{ID: tok, Amount: 10, Key: priv[tok]})
+	}
+	return w, view, l
+}
+
+func TestBalanceAndCoinSelection(t *testing.T) {
+	w, _, _ := fixture(t, 5)
+	if got := w.Balance(); got != 50 {
+		t.Fatalf("balance = %d", got)
+	}
+	coins, err := w.SelectCoins(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coins) != 3 { // 10+10+10 covers 25
+		t.Fatalf("coins = %d", len(coins))
+	}
+	if _, err := w.SelectCoins(500); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPaySingleInputRings(t *testing.T) {
+	w, view, l := fixture(t, 8)
+	pay, err := w.Pay(view, 15, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pay.Submissions) != 2 {
+		t.Fatalf("submissions = %d", len(pay.Submissions))
+	}
+	if pay.Change != 5 {
+		t.Fatalf("change = %d", pay.Change)
+	}
+	if pay.TotalFee == 0 {
+		t.Fatal("fee must be positive")
+	}
+	// Submissions are accepted and mined by a real node.
+	n, err := node.New(l, node.Config{Framework: itm.Config{
+		Lambda: 1000, Eta: 0.1, Headroom: true, Algorithm: itm.Progressive,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range pay.Submissions {
+		if _, err := n.Submit(sub); err != nil {
+			t.Fatalf("node rejected wallet submission: %v", err)
+		}
+	}
+	mined, err := n.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 2 {
+		t.Fatalf("mined = %+v", mined)
+	}
+	// Balance reflects the spend.
+	if got := w.Balance(); got != 60 {
+		t.Fatalf("post-spend balance = %d", got)
+	}
+}
+
+func TestPayRejectsRespend(t *testing.T) {
+	w, view, _ := fixture(t, 8)
+	if _, err := w.Pay(view, 80, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Pay(view, 10, rand.Reader); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("respend err = %v", err)
+	}
+}
+
+func TestPayMulti(t *testing.T) {
+	w, view, _ := fixture(t, 10)
+	mp, err := w.PayMulti(view, 15, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Rings) != 2 {
+		t.Fatalf("rings = %d", len(mp.Rings))
+	}
+	if mp.Signature == nil {
+		t.Fatal("missing multilayer signature")
+	}
+	if mp.Change != 5 {
+		t.Fatalf("change = %d", mp.Change)
+	}
+	// All rings share a size (rectangular matrix) and the signature
+	// verifies independently.
+	rows := len(mp.Rings[0])
+	for _, r := range mp.Rings {
+		if len(r) != rows {
+			t.Fatalf("ring sizes differ: %v", mp.Rings)
+		}
+	}
+	msg := multiMessage(mp.Rings)
+	if err := ringsig.MultiVerify(mp.Signature, mp.Matrix, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Images are distinct per input.
+	if mp.Signature.Images[0].Equal(mp.Signature.Images[1]) {
+		t.Fatal("distinct inputs must have distinct key images")
+	}
+}
+
+func TestLedgerViewPublicKeyMissing(t *testing.T) {
+	_, view, _ := fixture(t, 2)
+	if _, err := view.PublicKey(9999); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("err = %v", err)
+	}
+}

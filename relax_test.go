@@ -1,0 +1,46 @@
+package tokenmagic
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSpendRelaxedFacade(t *testing.T) {
+	// Only 3 source transactions: ℓ=5 is infeasible, ℓ=3 works.
+	sys := NewSystem(Options{DisableSigning: true, DisableHeadroom: true})
+	ids, err := sys.MintBlock(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	strict := Requirement{C: 1, L: 5}
+	if _, err := sys.Spend(ids[0], strict); !errors.Is(err, ErrNoEligible) {
+		t.Fatalf("strict spend err = %v", err)
+	}
+	rcpt, achieved, err := sys.SpendRelaxed(ids[0], strict, RelaxationPolicy{LStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved.L >= strict.L {
+		t.Fatalf("achieved %v not weaker than %v", achieved, strict)
+	}
+	if !rcpt.Tokens.Contains(ids[0]) {
+		t.Fatal("target missing from relaxed ring")
+	}
+	if sys.NumRings() != 1 {
+		t.Fatalf("rings = %d", sys.NumRings())
+	}
+	// Relaxed spends still register double-spend protection.
+	if _, _, err := sys.SpendRelaxed(ids[0], strict, RelaxationPolicy{LStep: 1}); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("double relaxed spend err = %v", err)
+	}
+}
+
+func TestSpendRelaxedBeforeSeal(t *testing.T) {
+	sys := NewSystem(Options{})
+	if _, _, err := sys.SpendRelaxed(0, Requirement{C: 1, L: 2}, RelaxationPolicy{LStep: 1}); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("err = %v", err)
+	}
+}

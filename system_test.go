@@ -1,0 +1,182 @@
+package tokenmagic
+
+import (
+	"errors"
+	"testing"
+)
+
+// mintStandard builds a sealed system with n transactions of two outputs
+// each (the real data set's modal shape).
+func mintStandard(t *testing.T, opts Options, nTx int) (*System, []TokenID) {
+	t.Helper()
+	sys := NewSystem(opts)
+	outs := make([]int, nTx)
+	for i := range outs {
+		outs[i] = 2
+	}
+	ids, err := sys.MintBlock(outs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, ids
+}
+
+func TestSystemSpendEndToEnd(t *testing.T) {
+	sys, ids := mintStandard(t, Options{}, 8)
+	req := Requirement{C: 1, L: 3}
+	rcpt, err := sys.Spend(ids[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcpt.Tokens.Contains(ids[0]) {
+		t.Fatalf("ring %v must contain the spent token", rcpt.Tokens)
+	}
+	if rcpt.Signature == nil {
+		t.Fatal("spend must carry a real ring signature")
+	}
+	if rcpt.Fee != uint64(len(rcpt.Tokens)) {
+		t.Fatalf("fee = %d, want ring size %d", rcpt.Fee, len(rcpt.Tokens))
+	}
+	if sys.NumRings() != 1 {
+		t.Fatalf("rings = %d", sys.NumRings())
+	}
+	ring, err := sys.Ring(rcpt.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ring.Equal(rcpt.Tokens) {
+		t.Fatal("ledger ring differs from receipt")
+	}
+}
+
+func TestSystemDoubleSpend(t *testing.T) {
+	sys, ids := mintStandard(t, Options{}, 10)
+	req := Requirement{C: 1, L: 3}
+	if _, err := sys.Spend(ids[0], req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spend(ids[0], req); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("second spend err = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestSystemDoubleSpendUnsigned(t *testing.T) {
+	sys, ids := mintStandard(t, Options{DisableSigning: true}, 10)
+	req := Requirement{C: 1, L: 3}
+	rcpt, err := sys.Spend(ids[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Signature != nil {
+		t.Fatal("unsigned mode must not produce signatures")
+	}
+	if _, err := sys.Spend(ids[0], req); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("unsigned second spend err = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestSystemLifecycleErrors(t *testing.T) {
+	sys := NewSystem(Options{})
+	if _, err := sys.Spend(0, Requirement{C: 1, L: 2}); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("spend before seal err = %v", err)
+	}
+	if _, err := sys.MintBlock(0); err == nil {
+		t.Fatal("zero-output tx must error")
+	}
+	if _, err := sys.MintBlock(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Seal(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("double seal err = %v", err)
+	}
+	if _, err := sys.MintBlock(2); !errors.Is(err, ErrSealed) {
+		t.Fatalf("mint after seal err = %v", err)
+	}
+}
+
+func TestSystemNoEligible(t *testing.T) {
+	// One transaction with 4 outputs: every token shares the HT, ℓ=2 is
+	// unreachable.
+	sys := NewSystem(Options{})
+	ids, err := sys.MintBlock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spend(ids[0], Requirement{C: 1, L: 2}); !errors.Is(err, ErrNoEligible) {
+		t.Fatalf("err = %v, want ErrNoEligible", err)
+	}
+}
+
+func TestSystemAudit(t *testing.T) {
+	sys, ids := mintStandard(t, Options{DisableSigning: true}, 10)
+	req := Requirement{C: 1, L: 3}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Spend(ids[i*2], req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := sys.Audit()
+	if rep.Rings != 3 {
+		t.Fatalf("audit rings = %d", rep.Rings)
+	}
+	if rep.TracedRings != 0 {
+		t.Fatalf("TokenMagic spends must not be traceable, got %d traced", rep.TracedRings)
+	}
+	if rep.AvgAnonymitySet < 2 {
+		t.Fatalf("anonymity set %v too small", rep.AvgAnonymitySet)
+	}
+}
+
+func TestSystemAuditWithSideInfo(t *testing.T) {
+	sys, ids := mintStandard(t, Options{DisableSigning: true}, 10)
+	req := Requirement{C: 1, L: 3}
+	rcpt, err := sys.Spend(ids[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := sys.Audit()
+	leak := sys.AuditWithSideInfo(map[RSID]TokenID{rcpt.Ring: ids[0]})
+	if leak.TracedRings <= plain.TracedRings {
+		t.Fatalf("side info must increase traced rings: %d vs %d",
+			leak.TracedRings, plain.TracedRings)
+	}
+}
+
+func TestSystemCommitRawBypassesChecks(t *testing.T) {
+	sys, ids := mintStandard(t, Options{DisableSigning: true}, 6)
+	// A homogeneous ring (both outputs of one tx) that Spend would refuse.
+	id, err := sys.CommitRaw(NewTokenSet(ids[0], ids[1]), Requirement{C: 1, L: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Audit()
+	_ = id
+	if rep.HTRevealedRings != 1 {
+		t.Fatalf("homogeneous raw ring should leak its HT, got %+v", rep)
+	}
+}
+
+func TestSystemAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{Progressive, Game, Smallest, RandomPick} {
+		sys, ids := mintStandard(t, Options{Algorithm: algo, DisableSigning: true}, 8)
+		if _, err := sys.Spend(ids[3], Requirement{C: 1, L: 3}); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Lambda != 800 || o.Eta != 0.1 || o.Seed != 1 || o.FeePerToken != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,82 @@
+// Package tokenmagic is the public API of the TokenMagic library, a
+// reproduction of "When the Recursive Diversity Anonymity Meets the Ring
+// Signature" (SIGMOD 2021). It solves the diversity-aware mixin selection
+// (DA-MS) problem: choosing the minimum set of chaff tokens ("mixins") for a
+// ring signature so that
+//
+//   - the ring satisfies a recursive (c, ℓ)-diversity requirement over the
+//     historical transactions of its tokens,
+//   - no token of any ring can be eliminated by chain-reaction analysis, and
+//   - previously published rings keep their declared diversity.
+//
+// The typical flow is: create a System, mint tokens in blocks, Seal the
+// chain into TokenMagic batches, then Spend tokens — each spend selects
+// mixins with the configured algorithm, produces a real linkable ring
+// signature, verifies it like a miner would, and appends it to the ledger.
+//
+//	sys := tokenmagic.NewSystem(tokenmagic.Options{})
+//	ids, _ := sys.MintBlock(2, 2, 3)        // three transactions
+//	_ = sys.Seal()
+//	receipt, _ := sys.Spend(ids[0], tokenmagic.Requirement{C: 1, L: 3})
+//
+// Lower-level building blocks (exact solvers, adversary simulations,
+// workload generators) are exposed through the experiment harness binaries
+// in cmd/ and through this package's audit helpers.
+package tokenmagic
+
+import (
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// TokenID identifies a token (an unspent transaction output).
+type TokenID = chain.TokenID
+
+// TxID identifies a historical transaction.
+type TxID = chain.TxID
+
+// RSID identifies a ring signature on the ledger.
+type RSID = chain.RSID
+
+// TokenSet is a sorted set of tokens; a ring signature's visible content.
+type TokenSet = chain.TokenSet
+
+// NewTokenSet builds a TokenSet from arbitrary ids.
+func NewTokenSet(ids ...TokenID) TokenSet { return chain.NewTokenSet(ids...) }
+
+// Requirement is a recursive (c, ℓ)-diversity requirement: the most frequent
+// historical transaction among a ring's tokens must satisfy
+// q₁ < c·(q_ℓ + … + q_θ).
+type Requirement = diversity.Requirement
+
+// Algorithm selects the mixin-selection strategy.
+type Algorithm = itm.Algorithm
+
+// The available algorithms. Progressive (TM_P) is the fast approximation
+// suited to latency-sensitive uses; Game (TM_G) finds the smallest rings and
+// suits fee-sensitive uses; Smallest and RandomPick are the paper's
+// baselines; BFS is the exact solver for tiny universes.
+const (
+	Progressive = itm.Progressive
+	Game        = itm.Game
+	Smallest    = itm.Smallest
+	RandomPick  = itm.RandomPick
+	BFS         = itm.BFS
+)
+
+// Errors re-exported from the framework for callers to match with errors.Is.
+var (
+	// ErrNoEligible means no ring satisfying the constraints exists; relax
+	// the requirement (increase c or decrease ℓ) and retry.
+	ErrNoEligible = errNoEligible
+	// ErrLiveness means committing the ring would leave future spenders of
+	// this batch without eligible mixins (the η guard rejected it).
+	ErrLiveness = itm.ErrLiveness
+	// ErrConfig means the ring violates the practical configuration
+	// (partial overlap with an existing ring, or spans batches).
+	ErrConfig = itm.ErrConfig
+	// ErrDiversity means the ring or one of its DTRSs fails its diversity
+	// requirement.
+	ErrDiversity = itm.ErrDiversity
+)
