@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sort"
@@ -27,6 +28,18 @@ import (
 	"tokenmagic/internal/tokenmagic"
 	"tokenmagic/internal/workload"
 )
+
+// setupLogging installs a text slog handler on stderr at the given level.
+// Status and event output goes through slog so stdout stays reserved for
+// protocol/report output.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q (debug|info|warn|error)", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {

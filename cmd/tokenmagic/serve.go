@@ -3,39 +3,114 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"tokenmagic/internal/batchsvc"
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/node"
+	"tokenmagic/internal/nodesvc"
+	"tokenmagic/internal/obs"
 	"tokenmagic/internal/selector"
+	"tokenmagic/internal/tokenmagic"
 )
 
+// fullNode bundles the two public services a full node runs over one ledger:
+// batch reads (batchsvc) and spend submission/mining (nodesvc).
+type fullNode struct {
+	batch   *batchsvc.Server
+	node    *node.Node
+	handler http.Handler
+}
+
+// newFullNode composes the public protocol handler. The two service muxes
+// own disjoint routes, so the outer mux just dispatches whole paths.
+func newFullNode(led *chain.Ledger, lambda int, eta float64, allowUnsigned bool) (*fullNode, error) {
+	bs, err := batchsvc.NewServer(led, lambda)
+	if err != nil {
+		return nil, err
+	}
+	nd, err := node.New(led, node.Config{
+		Framework: tokenmagic.Config{
+			Lambda:    lambda,
+			Eta:       eta,
+			Headroom:  true,
+			Algorithm: tokenmagic.Progressive,
+		},
+		AllowUnsigned: allowUnsigned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bh := bs.Handler()
+	nh := nodesvc.NewServer(nd).Handler()
+	mux := http.NewServeMux()
+	for _, route := range []string{"/v1/meta", "/v1/batch", "/v1/rings"} {
+		mux.Handle(route, bh)
+	}
+	for _, route := range []string{"/v1/submit", "/v1/mine", "/v1/status"} {
+		mux.Handle(route, nh)
+	}
+	return &fullNode{batch: bs, node: nd, handler: mux}, nil
+}
+
+// serveOperator mounts the telemetry endpoints (/debug/vars, /debug/metrics
+// and optionally /debug/pprof/) on their own listener so profiling and
+// metrics never share a port with untrusted protocol traffic.
+func serveOperator(addr string, withPprof bool) {
+	mux := obs.OperatorMux(obs.Default(), withPprof)
+	hs := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		slog.Info("operator endpoints up", "addr", addr, "pprof", withPprof)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			slog.Error("operator server failed", "addr", addr, "err", err)
+		}
+	}()
+}
+
 // cmdServe runs a full node: it generates (or could load) a chain and serves
-// the batch protocol on -addr until killed.
+// the batch protocol plus spend submission on -addr until killed. With
+// -metrics it additionally exposes telemetry on a separate operator port.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	kind := fs.String("kind", "real", "data set kind: real|synthetic|small")
 	seed := fs.Int64("seed", 1, "random seed")
 	lambda := fs.Int("lambda", 800, "batch size parameter λ")
-	addr := fs.String("addr", "127.0.0.1:8791", "listen address")
+	eta := fs.Float64("eta", 0.1, "liveness guard η for submitted spends")
+	addr := fs.String("addr", "127.0.0.1:8791", "public listen address")
+	metricsAddr := fs.String("metrics", "", "operator listen address for /debug/vars, /debug/metrics and pprof (empty disables)")
+	withPprof := fs.Bool("pprof", true, "mount net/http/pprof on the -metrics port")
+	logLevel := fs.String("log-level", "info", "slog level: debug|info|warn|error")
+	allowUnsigned := fs.Bool("allow-unsigned", false, "accept submissions without ring signatures (experiments only)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLogging(*logLevel); err != nil {
 		return err
 	}
 	d, err := loadDataset(*kind, *seed)
 	if err != nil {
 		return err
 	}
-	srv, err := batchsvc.NewServer(d.Ledger, *lambda)
+	fn, err := newFullNode(d.Ledger, *lambda, *eta, *allowUnsigned)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("full node: %s data set (%d tokens, %d rings), λ=%d, serving on http://%s\n",
-		*kind, d.Ledger.NumTokens(), d.Ledger.NumRS(), *lambda, *addr)
+	if *metricsAddr != "" {
+		serveOperator(*metricsAddr, *withPprof)
+	}
+	slog.Info("full node up",
+		"kind", *kind,
+		"tokens", d.Ledger.NumTokens(),
+		"rings", d.Ledger.NumRS(),
+		"lambda", *lambda,
+		"eta", *eta,
+		"addr", *addr)
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           fn.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return hs.ListenAndServe()
@@ -46,7 +121,7 @@ func cmdServe(args []string) error {
 // state.
 func cmdLightSelect(args []string) error {
 	fs := flag.NewFlagSet("lightselect", flag.ExitOnError)
-	node := fs.String("node", "http://127.0.0.1:8791", "full node base URL")
+	nodeURL := fs.String("node", "http://127.0.0.1:8791", "full node base URL")
 	target := fs.Int("target", 0, "token id to consume")
 	c := fs.Float64("c", 0.6, "diversity parameter c")
 	l := fs.Int("l", 20, "diversity parameter ℓ")
@@ -54,7 +129,7 @@ func cmdLightSelect(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	client := batchsvc.NewClient(*node, nil)
+	client := batchsvc.NewClient(*nodeURL, nil)
 
 	meta, err := client.Meta()
 	if err != nil {
@@ -89,7 +164,7 @@ func cmdLightSelect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("light node against %s (chain: %d tokens, %d batches)\n", *node, meta.Tokens, meta.Batches)
+	fmt.Printf("light node against %s (chain: %d tokens, %d batches)\n", *nodeURL, meta.Tokens, meta.Batches)
 	fmt.Printf("batch %d holds %d tokens, %d related rings\n", batch.Index, len(batch.Tokens), len(ringInfos))
 	fmt.Printf("algo=%s ring size=%d tokens=%v\n", *algoName, res.Size(), res.Tokens)
 	return nil

@@ -19,8 +19,17 @@ func cmdSim(args []string) error {
 	eta := fs.Float64("eta", 0.1, "liveness guard η")
 	sigma := fs.Float64("sigma", 8, "HT distribution σ")
 	seed := fs.Int64("seed", 1, "random seed")
+	metricsAddr := fs.String("metrics", "", "operator listen address live during the run (/debug/vars, /debug/metrics, pprof)")
+	withPprof := fs.Bool("pprof", true, "mount net/http/pprof on the -metrics port")
+	logLevel := fs.String("log-level", "info", "slog level: debug|info|warn|error")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		serveOperator(*metricsAddr, *withPprof)
 	}
 	res, err := sim.Run(sim.Config{
 		Tokens:        *tokens,
@@ -50,6 +59,10 @@ func cmdSim(args []string) error {
 	if res.Stranded > 0 {
 		fmt.Printf("\nstranded spend attempts: %d\n", res.Stranded)
 	}
+	st := res.Framework
+	fmt.Printf("\nmetrics: solves=%d solveFailures=%d cacheHitRate=%.1f%% admits=%d rejects=%d (liveness=%d config=%d diversity=%d other=%d)\n",
+		st.Solves, st.SolveFailures, 100*st.CacheHitRate(), st.VerifyAdmits,
+		st.Rejects(), st.RejectLiveness, st.RejectConfig, st.RejectDiversity, st.RejectOther)
 	return nil
 }
 

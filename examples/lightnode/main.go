@@ -9,10 +9,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"tokenmagic/internal/batchsvc"
@@ -23,6 +26,16 @@ import (
 )
 
 func main() {
+	logLevel := flag.String("log-level", "info", "slog level for server status: debug|info|warn|error")
+	flag.Parse()
+	// Server status goes to slog on stderr; the light-node results below stay
+	// on stdout. With -log-level=debug the per-request middleware lines show.
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+
 	// ---- Full node: the paper's real data set behind the batch protocol.
 	dataset, err := workload.RealMonero(1)
 	if err != nil {
@@ -40,8 +53,10 @@ func main() {
 		_ = http.Serve(ln, server.Handler())
 	}()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("full node serving %d tokens / %d rings at %s\n",
-		dataset.Ledger.NumTokens(), dataset.Ledger.NumRS(), base)
+	slog.Info("full node up",
+		"tokens", dataset.Ledger.NumTokens(),
+		"rings", dataset.Ledger.NumRS(),
+		"addr", base)
 
 	// ---- Light node: no chain state, only HTTP.
 	client := batchsvc.NewClient(base, &http.Client{Timeout: 5 * time.Second})

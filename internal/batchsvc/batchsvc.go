@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"tokenmagic/internal/chain"
+	"tokenmagic/internal/obs"
 )
 
 // Meta describes the served chain.
@@ -55,10 +57,12 @@ type RingInfo struct {
 	L      int            `json:"l"`
 }
 
-// Server serves one ledger's batch data. It is safe for concurrent use as
-// long as the underlying ledger is not mutated mid-request; RefreshBatches
-// must be called after appending blocks.
+// Server serves one ledger's batch data. Requests run under a read lock and
+// RefreshBatches/UpdateLedger under the write lock, so refreshing after the
+// chain grew is safe while serving. Mutating the ledger directly, without
+// going through UpdateLedger, still requires request quiescence.
 type Server struct {
+	mu      sync.RWMutex
 	ledger  *chain.Ledger
 	lambda  int
 	batches *chain.BatchList
@@ -73,8 +77,15 @@ func NewServer(ledger *chain.Ledger, lambda int) (*Server, error) {
 	return &Server{ledger: ledger, lambda: lambda, batches: bl}, nil
 }
 
-// RefreshBatches recomputes the batch list after the chain grew.
+// RefreshBatches recomputes the batch list after the chain grew. Safe to
+// call while requests are in flight.
 func (s *Server) RefreshBatches() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked()
+}
+
+func (s *Server) refreshLocked() error {
 	bl, err := chain.BuildBatches(s.ledger, s.lambda)
 	if err != nil {
 		return err
@@ -83,16 +94,32 @@ func (s *Server) RefreshBatches() error {
 	return nil
 }
 
-// Handler returns the HTTP handler implementing the protocol.
+// UpdateLedger runs fn with exclusive access to the served ledger and then
+// rebuilds the batch list before requests resume: the safe way to append
+// blocks while serving.
+func (s *Server) UpdateLedger(fn func(*chain.Ledger) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := fn(s.ledger); err != nil {
+		return err
+	}
+	return s.refreshLocked()
+}
+
+// Handler returns the HTTP handler implementing the protocol, wrapped with
+// per-route telemetry in the process-wide obs registry ("http.batchsvc.*").
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/meta", s.handleMeta)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/rings", s.handleRings)
-	return mux
+	return obs.InstrumentHTTP(obs.Default(), "batchsvc", mux,
+		"/v1/meta", "/v1/batch", "/v1/rings")
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	writeJSON(w, Meta{
 		Lambda:  s.lambda,
 		Blocks:  s.ledger.NumBlocks(),
@@ -122,6 +149,8 @@ func (s *Server) batchFromQuery(r *http.Request) (chain.Batch, error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	b, err := s.batchFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -142,6 +171,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRings(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	b, err := s.batchFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

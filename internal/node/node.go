@@ -23,6 +23,7 @@ import (
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/obs"
 	"tokenmagic/internal/ringsig"
 	itm "tokenmagic/internal/tokenmagic"
 )
@@ -63,6 +64,7 @@ type Node struct {
 	mempool []pendingEntry
 	// VerifySignatures can be disabled for pure selection experiments.
 	verifySigs bool
+	metrics    *obs.Registry
 }
 
 type pendingEntry struct {
@@ -98,16 +100,51 @@ func New(ledger *chain.Ledger, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Framework.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	return &Node{
 		ledger:     ledger,
 		fw:         fw,
 		images:     make(map[string]chain.RSID),
 		verifySigs: !cfg.AllowUnsigned,
+		metrics:    reg,
 	}, nil
+}
+
+// rejectReason buckets a Submit error for the node.submit.reject.* counters.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrBadSignature):
+		return "bad_signature"
+	case errors.Is(err, ErrKeyImageUsed):
+		return "double_spend"
+	case errors.Is(err, ErrKeysMismatch), errors.Is(err, ErrUnsignedDenied):
+		return "malformed"
+	case errors.Is(err, itm.ErrLiveness):
+		return "liveness"
+	case errors.Is(err, itm.ErrConfig):
+		return "config"
+	case errors.Is(err, itm.ErrDiversity):
+		return "diversity"
+	default:
+		return "other"
+	}
 }
 
 // Submit validates a spend and, if acceptable, queues it for mining.
 func (n *Node) Submit(sub Submission) (Receipt, error) {
+	rcpt, err := n.submit(sub)
+	if err != nil {
+		n.metrics.Counter("node.submit.reject." + rejectReason(err)).Inc()
+	} else {
+		n.metrics.Counter("node.submit.accepted").Inc()
+	}
+	return rcpt, err
+}
+
+func (n *Node) submit(sub Submission) (Receipt, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -146,6 +183,7 @@ func (n *Node) Submit(sub Submission) (Receipt, error) {
 	}
 	id := len(n.mempool)
 	n.mempool = append(n.mempool, pendingEntry{sub: sub, id: id})
+	n.metrics.Gauge("node.mempool.pending").Set(int64(len(n.mempool)))
 	return Receipt{SubmissionID: id}, nil
 }
 
@@ -188,6 +226,7 @@ func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
 
 	var mined []MinedRing
 	var leftover []pendingEntry
+	dropped := 0
 	for _, e := range entries {
 		if len(mined) >= maxRings {
 			leftover = append(leftover, e)
@@ -197,6 +236,7 @@ func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
 		if err != nil {
 			// The chain moved under this entry (e.g. a mined superset made
 			// it overlap-invalid): drop it; the client resubmits.
+			dropped++
 			continue
 		}
 		if e.sub.Signature != nil {
@@ -205,6 +245,10 @@ func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
 		mined = append(mined, MinedRing{SubmissionID: e.id, Ring: id, Fee: e.sub.Fee})
 	}
 	n.mempool = leftover
+	n.metrics.Counter("node.mine.blocks").Inc()
+	n.metrics.Counter("node.mine.rings").Add(int64(len(mined)))
+	n.metrics.Counter("node.mine.dropped").Add(int64(dropped))
+	n.metrics.Gauge("node.mempool.pending").Set(int64(len(n.mempool)))
 	return mined, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
 	"tokenmagic/internal/node"
+	"tokenmagic/internal/obs"
 	"tokenmagic/internal/ringsig"
 )
 
@@ -65,13 +66,15 @@ type Server struct {
 // NewServer wraps an existing node.
 func NewServer(n *node.Node) *Server { return &Server{node: n} }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler, wrapped with per-route telemetry in the
+// process-wide obs registry ("http.nodesvc.*").
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/mine", s.handleMine)
 	mux.HandleFunc("/v1/status", s.handleStatus)
-	return mux
+	return obs.InstrumentHTTP(obs.Default(), "nodesvc", mux,
+		"/v1/submit", "/v1/mine", "/v1/status")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrumentHTTPRecordsPerRoute(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/meta", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad", http.StatusBadRequest)
+	})
+	h := InstrumentHTTP(reg, "svc", mux, "/v1/meta", "/v1/batch")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/v1/meta")
+	get("/v1/meta")
+	get("/v1/batch")
+	get("/nope")
+
+	for name, want := range map[string]int64{
+		"http.svc.v1_meta.requests":    2,
+		"http.svc.v1_meta.status_2xx":  2,
+		"http.svc.v1_batch.requests":   1,
+		"http.svc.v1_batch.status_4xx": 1,
+		"http.svc.other.requests":      1,
+		"http.svc.other.status_4xx":    1, // mux 404
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram("http.svc.v1_meta.latency_us", LatencyBucketsUS).Snapshot().Count; got != 2 {
+		t.Errorf("latency histogram count = %d, want 2", got)
+	}
+}
+
+func TestInstrumentHTTPImplicitStatusAndOpenRoutes(t *testing.T) {
+	reg := NewRegistry()
+	// Handler that never calls WriteHeader: implicit 200.
+	h := InstrumentHTTP(reg, "open", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/a/b", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	// No allowlist → raw normalized path is tracked.
+	if got := reg.Counter("http.open.a_b.status_2xx").Value(); got != 1 {
+		t.Fatalf("implicit 200 not recorded: %d", got)
+	}
+	// Root path gets a stable label.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := reg.Counter("http.open.root.requests").Value(); got != 1 {
+		t.Fatalf("root route not recorded: %d", got)
+	}
+}

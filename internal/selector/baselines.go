@@ -5,7 +5,8 @@ import "math/rand"
 // Smallest is the paper's TM_S baseline: repeatedly add the module with the
 // smallest token count until the union's HT multiset satisfies the
 // requirement.
-func Smallest(p *Problem) (Result, error) {
+func Smallest(p *Problem) (res Result, err error) {
+	defer solveObs("TM_S")(&res, &err)
 	st := newState(p)
 	for !st.hist.Satisfies(p.Req) {
 		st.iters++
@@ -29,7 +30,8 @@ func Smallest(p *Problem) (Result, error) {
 // Random is the paper's TM_R baseline: repeatedly add a uniformly random
 // unselected module until the union's HT multiset satisfies the requirement.
 // rng must be non-nil so experiments stay reproducible.
-func Random(p *Problem, rng *rand.Rand) (Result, error) {
+func Random(p *Problem, rng *rand.Rand) (res Result, err error) {
+	defer solveObs("TM_R")(&res, &err)
 	st := newState(p)
 	var unselected []int
 	for i := range p.Candidates {

@@ -31,7 +31,8 @@ var ErrExactTooLarge = errors.New("selector: exact search exceeded its work cap"
 // BFS finds a minimum-cardinality ring for the target satisfying all three
 // DA-MS constraints, by trying candidate mixin sets in ascending size order
 // (Algorithm 2). Exponential: use only on Figure-4-scale instances.
-func BFS(p *ExactProblem) (Result, error) {
+func BFS(p *ExactProblem) (res Result, err error) {
+	defer solveObs("TM_B")(&res, &err)
 	if err := p.Req.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -23,7 +23,8 @@ func sortBySizeAsc(order []int, mods []Module) {
 //
 // The returned Result's Iterations counts best-response sweeps after the
 // shared HT-cover phase.
-func Game(p *Problem) (Result, error) {
+func Game(p *Problem) (res Result, err error) {
+	defer solveObs("TM_G")(&res, &err)
 	st := newState(p)
 	if !st.hist.Satisfies(p.Req) {
 		if err := st.coverHTPhase(); err != nil {

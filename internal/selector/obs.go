@@ -1,0 +1,39 @@
+package selector
+
+import (
+	"errors"
+	"time"
+
+	"tokenmagic/internal/obs"
+)
+
+// solveObs instruments one solver run. Each exported solver defers the
+// returned hook, which records into the process-wide obs registry under
+// "selector.<ALGO>.":
+//
+//	solves       counter   runs of this solver
+//	latency_us   histogram wall time per run
+//	iterations   counter   algorithm steps (Result.Iterations), summed
+//	ring_size    histogram size of each produced ring
+//	no_eligible  counter   runs that ended in ErrNoEligible — the fallback
+//	                       signal that drives relaxation ladders
+//	errors       counter   runs that failed for any other reason
+func solveObs(algo string) func(*Result, *error) {
+	start := time.Now()
+	return func(res *Result, err *error) {
+		reg := obs.Default()
+		prefix := "selector." + algo
+		reg.Counter(prefix + ".solves").Inc()
+		reg.Histogram(prefix+".latency_us", obs.LatencyBucketsUS).ObserveSince(start)
+		if *err != nil {
+			if errors.Is(*err, ErrNoEligible) {
+				reg.Counter(prefix + ".no_eligible").Inc()
+			} else {
+				reg.Counter(prefix + ".errors").Inc()
+			}
+			return
+		}
+		reg.Counter(prefix + ".iterations").Add(int64(res.Iterations))
+		reg.Histogram(prefix+".ring_size", obs.SizeBuckets).Observe(int64(res.Size()))
+	}
+}

@@ -8,7 +8,8 @@ import "math"
 // diversity slack δ = q₁ − c·(q_ℓ+…+q_θ) below zero by maximising the
 // improvement-per-token ratio β_i = (δ − δ_i)/|x_i|. Approximation ratio:
 // Theorem 6.5.
-func Progressive(p *Problem) (Result, error) {
+func Progressive(p *Problem) (res Result, err error) {
+	defer solveObs("TM_P")(&res, &err)
 	st := newState(p)
 	if st.hist.Satisfies(p.Req) {
 		return st.result(), nil

@@ -78,6 +78,10 @@ type Result struct {
 	Segments  []SegmentStats
 	// Stranded counts tokens whose spend attempt failed terminally.
 	Stranded int
+	// Framework aggregates the telemetry counters of every framework the
+	// run used (one per algorithm): solver dispatches, decomposition-cache
+	// hit rate, and Step-3 admit/reject classification.
+	Framework itm.Stats
 }
 
 // Errors from configuration validation.
@@ -220,6 +224,9 @@ func Run(cfg Config) (*Result, error) {
 		if res.Segments[i].Committed > 0 {
 			res.Segments[i].AvgSize = float64(sizeSums[i]) / float64(res.Segments[i].Committed)
 		}
+	}
+	for _, f := range frameworks {
+		res.Framework = res.Framework.Add(f.Stats())
 	}
 	return res, nil
 }

@@ -23,11 +23,14 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tokenmagic/internal/adversary"
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
 	"tokenmagic/internal/dtrs"
+	"tokenmagic/internal/obs"
 	"tokenmagic/internal/selector"
 )
 
@@ -76,6 +79,9 @@ type Config struct {
 	// false, GenerateRS runs exactly one solve for the consuming token —
 	// what the paper's timing figures measure.
 	Randomize bool
+	// Metrics receives the framework's runtime telemetry; nil reports to
+	// the process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's deployment defaults: Monero-scale
@@ -100,6 +106,109 @@ type Framework struct {
 	// Algorithm 1 re-runs RingsOver+Decompose |T| times per spend.
 	decompMu sync.Mutex
 	decomp   map[int]*decompCache
+
+	metrics fwMetrics
+	stats   fwStats
+}
+
+// fwMetrics holds the registry handles the framework reports to.
+type fwMetrics struct {
+	solveCount   *obs.Counter
+	solveLatency *obs.Histogram
+	ringSize     *obs.Histogram
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	admits       *obs.Counter
+	rejLiveness  *obs.Counter
+	rejConfig    *obs.Counter
+	rejDiversity *obs.Counter
+	rejOther     *obs.Counter
+}
+
+func newFWMetrics(reg *obs.Registry, algo Algorithm) fwMetrics {
+	solve := "framework.solve." + algo.String()
+	return fwMetrics{
+		solveCount:   reg.Counter(solve + ".count"),
+		solveLatency: reg.Histogram(solve+".latency_us", obs.LatencyBucketsUS),
+		ringSize:     reg.Histogram("framework.ring_size", obs.SizeBuckets),
+		cacheHits:    reg.Counter("framework.decomp.cache_hits"),
+		cacheMisses:  reg.Counter("framework.decomp.cache_misses"),
+		admits:       reg.Counter("framework.verify.admits"),
+		rejLiveness:  reg.Counter("framework.verify.reject.liveness"),
+		rejConfig:    reg.Counter("framework.verify.reject.config"),
+		rejDiversity: reg.Counter("framework.verify.reject.diversity"),
+		rejOther:     reg.Counter("framework.verify.reject.other"),
+	}
+}
+
+// fwStats are the per-instance counters behind Stats.
+type fwStats struct {
+	solves, solveFailures                          atomic.Int64
+	cacheHits, cacheMisses                         atomic.Int64
+	admits                                         atomic.Int64
+	rejLiveness, rejConfig, rejDiversity, rejOther atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of one framework's telemetry counters.
+// Unlike the obs registry — which aggregates across every framework in the
+// process — Stats is scoped to the instance it was read from.
+type Stats struct {
+	// Solves counts solver dispatches; SolveFailures those that returned an
+	// error (ErrNoEligible included).
+	Solves, SolveFailures int64
+	// CacheHits/CacheMisses cover the per-batch decomposition cache.
+	CacheHits, CacheMisses int64
+	// VerifyAdmits counts rings that passed the Step-3 checks; the Reject*
+	// fields classify the failures (η guard, practical configuration,
+	// diversity, everything else).
+	VerifyAdmits                                               int64
+	RejectLiveness, RejectConfig, RejectDiversity, RejectOther int64
+}
+
+// Rejects is the total number of Step-3 rejections.
+func (s Stats) Rejects() int64 {
+	return s.RejectLiveness + s.RejectConfig + s.RejectDiversity + s.RejectOther
+}
+
+// CacheHitRate returns the decomposition-cache hit fraction in [0, 1]
+// (0 when the cache was never consulted).
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Add returns the field-wise sum of two snapshots (for aggregating over
+// several frameworks, e.g. one per algorithm in a simulation).
+func (s Stats) Add(o Stats) Stats {
+	s.Solves += o.Solves
+	s.SolveFailures += o.SolveFailures
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.VerifyAdmits += o.VerifyAdmits
+	s.RejectLiveness += o.RejectLiveness
+	s.RejectConfig += o.RejectConfig
+	s.RejectDiversity += o.RejectDiversity
+	s.RejectOther += o.RejectOther
+	return s
+}
+
+// Stats reads the framework's per-instance counters. Safe to call
+// concurrently with spends.
+func (f *Framework) Stats() Stats {
+	return Stats{
+		Solves:          f.stats.solves.Load(),
+		SolveFailures:   f.stats.solveFailures.Load(),
+		CacheHits:       f.stats.cacheHits.Load(),
+		CacheMisses:     f.stats.cacheMisses.Load(),
+		VerifyAdmits:    f.stats.admits.Load(),
+		RejectLiveness:  f.stats.rejLiveness.Load(),
+		RejectConfig:    f.stats.rejConfig.Load(),
+		RejectDiversity: f.stats.rejDiversity.Load(),
+		RejectOther:     f.stats.rejOther.Load(),
+	}
 }
 
 type decompCache struct {
@@ -127,6 +236,10 @@ func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 	if cfg.Eta < 0 || cfg.Eta > 1 {
 		return nil, fmt.Errorf("tokenmagic: η must be in [0,1], got %v", cfg.Eta)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	f := &Framework{
 		cfg:     cfg,
 		ledger:  ledger,
@@ -134,6 +247,7 @@ func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 		origin:  ledger.OriginFunc(),
 		guards:  make(map[int]*adversary.NeighborSets),
 		rng:     rng,
+		metrics: newFWMetrics(reg, cfg.Algorithm),
 	}
 	// Replay existing rings into their batch guards.
 	for _, r := range ledger.Rings() {
@@ -189,8 +303,12 @@ func (f *Framework) decompFor(b chain.Batch) *decompCache {
 	}
 	cur := f.ledger.NumRS()
 	if dc, ok := f.decomp[b.Index]; ok && dc.ringCount == cur {
+		f.stats.cacheHits.Add(1)
+		f.metrics.cacheHits.Inc()
 		return dc
 	}
+	f.stats.cacheMisses.Add(1)
+	f.metrics.cacheMisses.Inc()
 	rings := f.ledger.RingsOver(b.Tokens)
 	supers, fresh := selector.Decompose(rings, b.Tokens)
 	dc := &decompCache{ringCount: cur, rings: rings, supers: supers, fresh: fresh}
@@ -198,8 +316,22 @@ func (f *Framework) decompFor(b chain.Batch) *decompCache {
 	return dc
 }
 
-// solve dispatches to the configured solver.
+// solve dispatches to the configured solver, recording per-algorithm count
+// and latency (candidate sampling makes this the hot path: one call per
+// batch token per spend).
 func (f *Framework) solve(p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+	start := time.Now()
+	res, err := f.dispatch(p, universe, target, req)
+	f.metrics.solveCount.Inc()
+	f.metrics.solveLatency.ObserveSince(start)
+	f.stats.solves.Add(1)
+	if err != nil {
+		f.stats.solveFailures.Add(1)
+	}
+	return res, err
+}
+
+func (f *Framework) dispatch(p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
 	switch f.cfg.Algorithm {
 	case Progressive:
 		return selector.Progressive(p)
@@ -230,6 +362,14 @@ func (f *Framework) solve(p *selector.Problem, universe chain.TokenSet, target c
 // token and picks uniformly among those containing target; otherwise it runs
 // a single solve.
 func (f *Framework) GenerateRS(target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+	res, err := f.generateRS(target, req)
+	if err == nil {
+		f.metrics.ringSize.Observe(int64(res.Size()))
+	}
+	return res, err
+}
+
+func (f *Framework) generateRS(target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
 	if err := req.Validate(); err != nil {
 		return selector.Result{}, err
 	}
@@ -332,6 +472,28 @@ func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (ch
 // all tokens in one batch), the declared diversity with headroom, the
 // closed-form DTRS diversity, and the η liveness guard.
 func (f *Framework) VerifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
+	err := f.verifyRS(tokens, req)
+	switch {
+	case err == nil:
+		f.stats.admits.Add(1)
+		f.metrics.admits.Inc()
+	case errors.Is(err, ErrLiveness):
+		f.stats.rejLiveness.Add(1)
+		f.metrics.rejLiveness.Inc()
+	case errors.Is(err, ErrConfig):
+		f.stats.rejConfig.Add(1)
+		f.metrics.rejConfig.Inc()
+	case errors.Is(err, ErrDiversity):
+		f.stats.rejDiversity.Add(1)
+		f.metrics.rejDiversity.Inc()
+	default:
+		f.stats.rejOther.Add(1)
+		f.metrics.rejOther.Inc()
+	}
+	return err
+}
+
+func (f *Framework) verifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
