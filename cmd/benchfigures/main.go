@@ -4,13 +4,18 @@
 // Usage:
 //
 //	benchfigures [-fig N] [-tables] [-ablations] [-instances N] [-seed N] [-max-bfs N]
+//	benchfigures -bench-solver BENCH_solver.json
 //
 // With no flags it runs everything at a moderate instance count. Pass
 // -instances 1000 for paper-scale sweeps (slower), -fig 5 for a single
 // figure, -tables for the Table 2/3 settings, -ablations for A1–A3.
+// -bench-solver runs the solver hot-path microbenchmarks (slack evaluation,
+// full solves, GenerateRS at λ ∈ {100, 800}) and writes the before/after
+// JSON artefact tracked in the repo root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +33,14 @@ func main() {
 		instances = flag.Int("instances", 100, "problem instances per sweep point (paper: 1000)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		maxBFS    = flag.Int("max-bfs", 4, "rings to generate in the Figure-4 exact run")
+		benchOut  = flag.String("bench-solver", "", "run solver hot-path microbenchmarks and write BENCH_solver.json to this path")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		runSolverBench(*benchOut)
+		return
+	}
 
 	opts := bench.Options{Instances: *instances, Seed: *seed, Headroom: true}
 	runAll := !*tables && !*ablations && !*trace && !*quality && *fig == 0
@@ -72,6 +83,25 @@ func main() {
 	if *quality || runAll {
 		runQuality(*seed)
 	}
+}
+
+func runSolverBench(path string) {
+	fmt.Println("Solver hot-path microbenchmarks (this takes a couple of minutes)…")
+	rep, err := bench.SolverBenchmarks()
+	fail(err)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	data = append(data, '\n')
+	fail(os.WriteFile(path, data, 0o644))
+	fmt.Printf("  %-32s %14s %12s %10s\n", "arm", "ns/op", "B/op", "allocs/op")
+	for _, r := range rep.Current {
+		fmt.Printf("  %-32s %14.0f %12d %10d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	for _, q := range rep.SolveLatency {
+		fmt.Printf("  %s: n=%d p50=%.0fµs p99=%.0fµs mean=%.0fµs\n",
+			q.Metric, q.Count, q.P50US, q.P99US, q.MeanUS)
+	}
+	fmt.Println("wrote", path)
 }
 
 func runQuality(seed int64) {

@@ -1,0 +1,247 @@
+package diversity
+
+// Differential tests: drive random Add/Remove/AddN/RemoveN sequences and
+// assert the incremental count-of-counts index always agrees with a
+// from-scratch sorted recomputation over an independently maintained model.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tokenmagic/internal/chain"
+)
+
+// model is the reference implementation: a plain count map, recomputed from
+// scratch (collect → sort descending → fold) on every query.
+type model map[chain.TxID]int
+
+func (m model) freqsDesc() []int {
+	qs := make([]int, 0, len(m))
+	for _, c := range m {
+		qs = append(qs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(qs)))
+	return qs
+}
+
+func (m model) total() int {
+	t := 0
+	for _, c := range m {
+		t += c
+	}
+	return t
+}
+
+func (m model) slack(req Requirement) float64 {
+	if m.total() == 0 {
+		return -1
+	}
+	qs := m.freqsDesc()
+	tail := 0.0
+	for i := req.L - 1; i < len(qs); i++ {
+		tail += float64(qs[i])
+	}
+	return float64(qs[0]) - req.C*tail
+}
+
+func (m model) maxCount() int {
+	best := 0
+	for _, c := range m {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+func (m model) minCount() int {
+	best := 0
+	for _, c := range m {
+		if best == 0 || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+var diffReqs = []Requirement{
+	{C: 0.5, L: 1}, {C: 0.6, L: 2}, {C: 1, L: 3}, {C: 2, L: 4}, {C: 0.3, L: 7},
+}
+
+func checkAgainstModel(t *testing.T, step int, h *Histogram, m model) {
+	t.Helper()
+	if h.Total() != m.total() {
+		t.Fatalf("step %d: Total = %d, model %d", step, h.Total(), m.total())
+	}
+	if h.Classes() != len(m) {
+		t.Fatalf("step %d: Classes = %d, model %d", step, h.Classes(), len(m))
+	}
+	if h.MaxCount() != m.maxCount() {
+		t.Fatalf("step %d: MaxCount = %d, model %d", step, h.MaxCount(), m.maxCount())
+	}
+	if h.MinCount() != m.minCount() {
+		t.Fatalf("step %d: MinCount = %d, model %d", step, h.MinCount(), m.minCount())
+	}
+	got, want := h.Frequencies(), m.freqsDesc()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: Frequencies len %d, model %d", step, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: Frequencies[%d] = %d, model %d (%v vs %v)", step, i, got[i], want[i], got, want)
+		}
+	}
+	for _, req := range diffReqs {
+		if hs, ms := h.Slack(req), m.slack(req); hs != ms {
+			t.Fatalf("step %d: Slack(%v) = %v, model %v (freqs %v)", step, req, hs, ms, want)
+		}
+		if h.Satisfies(req) != (m.slack(req) < 0) {
+			t.Fatalf("step %d: Satisfies(%v) disagrees with model", step, req)
+		}
+	}
+}
+
+func TestHistogramDifferentialRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		m := model{}
+		const classes = 12
+		for step := 0; step < 2000; step++ {
+			tx := chain.TxID(rng.Intn(classes))
+			switch rng.Intn(5) {
+			case 0, 1:
+				h.Add(tx)
+				m[tx]++
+			case 2:
+				n := 1 + rng.Intn(6)
+				h.AddN(tx, n)
+				m[tx] += n
+			case 3:
+				h.Remove(tx)
+				if m[tx] > 0 {
+					m[tx]--
+					if m[tx] == 0 {
+						delete(m, tx)
+					}
+				}
+			case 4:
+				n := 1 + rng.Intn(6)
+				h.RemoveN(tx, n)
+				if c := m[tx]; c > 0 {
+					if n > c {
+						n = c
+					}
+					if m[tx] = c - n; m[tx] == 0 {
+						delete(m, tx)
+					}
+				}
+			}
+			if step%7 == 0 || step > 1900 {
+				checkAgainstModel(t, step, h, m)
+			}
+		}
+		checkAgainstModel(t, -1, h, m)
+	}
+}
+
+// TestHistogramProbesMatchScratch checks the delta probes (SlackIfAdded,
+// SlackWithout) against a from-scratch recomputation and asserts they leave
+// the index unmodified.
+func TestHistogramProbesMatchScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := NewHistogram()
+	m := model{}
+	const classes = 10
+	for i := 0; i < 300; i++ {
+		tx := chain.TxID(rng.Intn(classes))
+		n := 1 + rng.Intn(4)
+		h.AddN(tx, n)
+		m[tx] += n
+
+		// SlackIfAdded probe with a random delta.
+		delta := make([]chain.TxID, rng.Intn(6))
+		for j := range delta {
+			delta[j] = chain.TxID(rng.Intn(classes + 3))
+		}
+		m2 := model{}
+		for tx, c := range m {
+			m2[tx] = c
+		}
+		for _, tx := range delta {
+			m2[tx]++
+		}
+		for _, req := range diffReqs {
+			if got, want := h.SlackIfAdded(req, delta), m2.slack(req); got != want {
+				t.Fatalf("SlackIfAdded(%v, %v) = %v, scratch %v", req, delta, got, want)
+			}
+		}
+		checkAgainstModel(t, i, h, m) // probe must not leave residue
+
+		// SlackWithout probe for every present class and one absent one.
+		for probe := 0; probe < classes+1; probe++ {
+			tx := chain.TxID(probe)
+			m3 := model{}
+			for k, c := range m {
+				if k != tx {
+					m3[k] = c
+				}
+			}
+			for _, req := range diffReqs {
+				if got, want := h.SlackWithout(req, tx), m3.slack(req); got != want {
+					t.Fatalf("SlackWithout(%v, %v) = %v, scratch %v (model %v)", req, tx, got, want, m)
+				}
+			}
+		}
+		checkAgainstModel(t, i, h, m)
+	}
+}
+
+func TestHistogramResetReuse(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		h.Reset()
+		m := model{}
+		for i := 0; i < 50; i++ {
+			tx := chain.TxID(rng.Intn(6))
+			h.Add(tx)
+			m[tx]++
+		}
+		checkAgainstModel(t, round, h, m)
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Classes() != 0 || h.MaxCount() != 0 || h.Slack(Requirement{C: 1, L: 2}) != -1 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+}
+
+func FuzzHistogramDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 4, 5})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		h := NewHistogram()
+		m := model{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			tx := chain.TxID(ops[i] % 9)
+			if ops[i+1] < 128 {
+				n := int(ops[i+1]%5) + 1
+				h.AddN(tx, n)
+				m[tx] += n
+			} else {
+				n := int(ops[i+1]%5) + 1
+				h.RemoveN(tx, n)
+				if c := m[tx]; c > 0 {
+					if n > c {
+						n = c
+					}
+					if m[tx] = c - n; m[tx] == 0 {
+						delete(m, tx)
+					}
+				}
+			}
+		}
+		checkAgainstModel(t, -1, h, m)
+	})
+}

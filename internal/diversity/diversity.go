@@ -11,12 +11,18 @@
 // multiset and the HT multiset of each of its DTRSs satisfy the predicate
 // (Definition 4). This package only provides the predicate and histogram
 // machinery; DTRS enumeration lives in internal/dtrs.
+//
+// Histogram is an incremental count-of-counts index: alongside the per-HT
+// counts it maintains freq[c] (the number of HT classes with exactly c
+// tokens), the running q₁ and the token total, so Add/Remove/AddN/RemoveN
+// are O(1) and Slack/Satisfies/MaxCount/Classes read without allocating or
+// sorting. DESIGN.md ("Incremental diversity-slack engine") documents the
+// invariants.
 package diversity
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"tokenmagic/internal/chain"
 )
@@ -50,11 +56,26 @@ func (r Requirement) String() string { return fmt.Sprintf("(%g,%d)-diversity", r
 // ErrBadRequirement reports malformed (c, ℓ) parameters.
 var ErrBadRequirement = errors.New("diversity: invalid requirement")
 
-// Histogram is a multiset of HTs represented as per-HT counts. The zero value
-// is an empty histogram ready to use.
+// Histogram is a multiset of HTs represented as per-HT counts plus a
+// count-of-counts index. The zero value is an empty histogram ready to use.
+//
+// Invariants (see DESIGN.md):
+//
+//	freq[c]  = |{h : counts[h] == c}| for 1 ≤ c ≤ max
+//	max      = q₁ = max count (0 when empty)
+//	total    = Σ_c c·freq[c] = Σ_h counts[h]
+//	Classes  = θ = Σ_c freq[c] = len(counts)
 type Histogram struct {
 	counts map[chain.TxID]int
+	freq   []int // freq[c] = classes with exactly c tokens; index 0 unused
+	max    int   // running q₁
 	total  int
+
+	// Probe scratch (SlackIfAdded): reused across calls so delta probes
+	// allocate nothing after warm-up.
+	probeTx  []chain.TxID
+	probeOld []int
+	probeNew []int
 }
 
 // NewHistogram returns an empty histogram.
@@ -74,16 +95,33 @@ func HistogramOf(tokens chain.TokenSet, origin func(chain.TokenID) chain.TxID) *
 	return h
 }
 
-// Add records one token from HT h.
-func (h *Histogram) Add(tx chain.TxID) {
-	if h.counts == nil {
-		h.counts = make(map[chain.TxID]int)
+// bump moves one class from count old to count new in the freq index and
+// maintains the running maximum. old or new may be 0 (class appears or
+// disappears).
+func (h *Histogram) bump(old, new int) {
+	if old > 0 {
+		h.freq[old]--
 	}
-	h.counts[tx]++
-	h.total++
+	if new > 0 {
+		for len(h.freq) <= new {
+			h.freq = append(h.freq, 0)
+		}
+		h.freq[new]++
+		if new > h.max {
+			h.max = new
+		}
+	}
+	// Walking max down is amortised O(1): each level crossed was paid for by
+	// the additions that raised max past it.
+	for h.max > 0 && h.freq[h.max] == 0 {
+		h.max--
+	}
 }
 
-// AddN records n tokens from HT h.
+// Add records one token from HT tx.
+func (h *Histogram) Add(tx chain.TxID) { h.AddN(tx, 1) }
+
+// AddN records n tokens from HT tx.
 func (h *Histogram) AddN(tx chain.TxID, n int) {
 	if n <= 0 {
 		return
@@ -91,31 +129,59 @@ func (h *Histogram) AddN(tx chain.TxID, n int) {
 	if h.counts == nil {
 		h.counts = make(map[chain.TxID]int)
 	}
-	h.counts[tx] += n
+	old := h.counts[tx]
+	h.counts[tx] = old + n
 	h.total += n
+	h.bump(old, old+n)
 }
 
-// Remove deletes one token of HT h; it is a no-op if none is recorded.
-func (h *Histogram) Remove(tx chain.TxID) {
-	if h.counts == nil {
+// Remove deletes one token of HT tx; it is a no-op if none is recorded.
+func (h *Histogram) Remove(tx chain.TxID) { h.RemoveN(tx, 1) }
+
+// RemoveN deletes up to n tokens of HT tx (all of them if fewer than n are
+// recorded).
+func (h *Histogram) RemoveN(tx chain.TxID, n int) {
+	if n <= 0 || h.counts == nil {
 		return
 	}
-	if c := h.counts[tx]; c > 0 {
-		if c == 1 {
-			delete(h.counts, tx)
-		} else {
-			h.counts[tx] = c - 1
-		}
-		h.total--
+	old := h.counts[tx]
+	if old == 0 {
+		return
 	}
+	if n > old {
+		n = old
+	}
+	new := old - n
+	if new == 0 {
+		delete(h.counts, tx)
+	} else {
+		h.counts[tx] = new
+	}
+	h.total -= n
+	h.bump(old, new)
+}
+
+// Reset empties the histogram, retaining its allocations for reuse.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	for i := range h.freq {
+		h.freq[i] = 0
+	}
+	h.max, h.total = 0, 0
 }
 
 // Clone returns an independent copy.
 func (h *Histogram) Clone() *Histogram {
-	out := &Histogram{counts: make(map[chain.TxID]int, len(h.counts)), total: h.total}
+	out := &Histogram{
+		counts: make(map[chain.TxID]int, len(h.counts)),
+		freq:   make([]int, len(h.freq)),
+		max:    h.max,
+		total:  h.total,
+	}
 	for k, v := range h.counts {
 		out.counts[k] = v
 	}
+	copy(out.freq, h.freq)
 	return out
 }
 
@@ -128,40 +194,41 @@ func (h *Histogram) Classes() int { return len(h.counts) }
 // Count returns the number of tokens recorded for one HT.
 func (h *Histogram) Count(tx chain.TxID) int { return h.counts[tx] }
 
+// Each calls f for every (HT, count) class until f returns false. Iteration
+// order is unspecified. f must not mutate the histogram.
+func (h *Histogram) Each(f func(tx chain.TxID, n int) bool) {
+	for tx, n := range h.counts {
+		if !f(tx, n) {
+			return
+		}
+	}
+}
+
 // Frequencies returns the counts sorted in non-increasing order
-// (q₁ ≥ q₂ ≥ … ≥ q_θ).
+// (q₁ ≥ q₂ ≥ … ≥ q_θ), materialised from the count-of-counts index without
+// sorting.
 func (h *Histogram) Frequencies() []int {
 	qs := make([]int, 0, len(h.counts))
-	for _, c := range h.counts {
-		qs = append(qs, c)
+	for c := h.max; c >= 1; c-- {
+		for i := 0; i < h.freq[c]; i++ {
+			qs = append(qs, c)
+		}
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(qs)))
 	return qs
 }
 
 // MaxCount returns q₁ (0 for an empty histogram). This is the q_M of
-// Theorems 6.2/6.5/6.7.
-func (h *Histogram) MaxCount() int {
-	m := 0
-	for _, c := range h.counts {
-		if c > m {
-			m = c
-		}
-	}
-	return m
-}
+// Theorems 6.2/6.5/6.7. O(1): the maximum is maintained incrementally.
+func (h *Histogram) MaxCount() int { return h.max }
 
 // MinCount returns q_θ (0 for an empty histogram); the paper's q_min.
 func (h *Histogram) MinCount() int {
-	m := 0
-	first := true
-	for _, c := range h.counts {
-		if first || c < m {
-			m = c
-			first = false
+	for c := 1; c <= h.max; c++ {
+		if h.freq[c] > 0 {
+			return c
 		}
 	}
-	return m
+	return 0
 }
 
 // Satisfies reports whether the histogram satisfies recursive
@@ -175,17 +242,145 @@ func (h *Histogram) Satisfies(req Requirement) bool {
 // Slack returns δ = q₁ − c·(q_ℓ + … + q_θ). Negative slack means the
 // requirement is met; the Progressive algorithm greedily drives δ below 0
 // (Section 6.2), so exposing it directly avoids recomputation.
+//
+// The ℓ-tail q_ℓ+…+q_θ is total − (q₁+…+q_{ℓ−1}); the head sum is read off
+// the count-of-counts index by walking at most q₁ levels from the running
+// maximum, with zero allocation. ℓ is a per-call parameter, so one index
+// serves every requirement (see DESIGN.md on why the head walk, not a
+// pinned-ℓ running tail, is the right trade).
 func (h *Histogram) Slack(req Requirement) float64 {
 	if h.total == 0 {
 		return -1 // vacuous satisfaction for empty multisets
 	}
-	qs := h.Frequencies()
-	q1 := float64(qs[0])
-	tail := 0.0
-	for i := req.L - 1; i < len(qs); i++ {
-		tail += float64(qs[i])
+	head := 0
+	k := req.L - 1 // classes still wanted in the head
+	for c := h.max; c >= 1 && k > 0; c-- {
+		n := h.freq[c]
+		if n == 0 {
+			continue
+		}
+		if n > k {
+			n = k
+		}
+		head += n * c
+		k -= n
 	}
-	return q1 - req.C*tail
+	return float64(h.max) - req.C*float64(h.total-head)
+}
+
+// SlackIfAdded returns the slack the histogram would have after adding one
+// token from each HT in hts (duplicates add multiplicity). The probe is
+// read-only: it overlays the delta on the count-of-counts walk without
+// touching the underlying map, so it neither clones nor allocates (beyond
+// warm-up of a reusable scratch buffer).
+func (h *Histogram) SlackIfAdded(req Requirement, hts []chain.TxID) float64 {
+	h.probeTx = h.probeTx[:0]
+	h.probeNew = h.probeNew[:0]
+	for _, tx := range hts {
+		found := false
+		for j, x := range h.probeTx {
+			if x == tx {
+				h.probeNew[j]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			h.probeTx = append(h.probeTx, tx)
+			h.probeNew = append(h.probeNew, 1)
+		}
+	}
+	return h.SlackIfAddedN(req, h.probeTx, h.probeNew)
+}
+
+// SlackIfAddedN returns the slack the histogram would have after adding
+// ns[i] tokens of class txs[i] for each i. txs must be distinct and ns
+// positive — exactly the footprint shape internal/selector precomputes per
+// module. Read-only: only map lookups, no mutation, no allocation.
+func (h *Histogram) SlackIfAddedN(req Requirement, txs []chain.TxID, ns []int) float64 {
+	f := len(txs)
+	if cap(h.probeOld) < f {
+		h.probeOld = make([]int, f)
+	}
+	old := h.probeOld[:f]
+	newTotal := h.total
+	newMax := h.max
+	for i, tx := range txs {
+		c := h.counts[tx]
+		old[i] = c
+		newTotal += ns[i]
+		if c+ns[i] > newMax {
+			newMax = c + ns[i]
+		}
+	}
+	if newTotal == 0 {
+		return -1
+	}
+	head := 0
+	k := req.L - 1
+	for c := newMax; c >= 1 && k > 0; c-- {
+		n := 0
+		if c <= h.max {
+			n = h.freq[c]
+		}
+		// Overlay the delta: each probed class leaves level old[i] and
+		// lands on level old[i]+ns[i].
+		for i := 0; i < f; i++ {
+			if old[i] == c {
+				n--
+			}
+			if old[i]+ns[i] == c {
+				n++
+			}
+		}
+		if n <= 0 {
+			continue
+		}
+		if n > k {
+			n = k
+		}
+		head += n * c
+		k -= n
+	}
+	return float64(newMax) - req.C*float64(newTotal-head)
+}
+
+// SlackWithout returns the slack the histogram would have if the whole class
+// tx were removed, without mutating the index. This is exactly the DTRS
+// check of Theorem 6.1: ψ(i,j) = ring \ T̃(h_j) drops one full HT class.
+func (h *Histogram) SlackWithout(req Requirement, tx chain.TxID) float64 {
+	drop := h.counts[tx]
+	if drop == 0 {
+		return h.Slack(req)
+	}
+	total := h.total - drop
+	if total == 0 {
+		return -1
+	}
+	q1 := 0
+	head := 0
+	k := req.L - 1
+	for c := h.max; c >= 1; c-- {
+		n := h.freq[c]
+		if c == drop {
+			n--
+		}
+		if n == 0 {
+			continue
+		}
+		if q1 == 0 {
+			q1 = c
+		}
+		if k <= 0 {
+			break
+		}
+		if n > k {
+			n = k
+		}
+		head += n * c
+		k -= n
+	}
+	return float64(q1) - req.C*float64(total-head)
 }
 
 // DistinctHTsNeeded is a quick lower bound helper: a multiset can only

@@ -280,12 +280,25 @@ func ClosedFormSets(ringTokens chain.TokenSet, subsetCount int, origin func(chai
 
 // AllSatisfyClosedForm checks Definition 4's second condition in polynomial
 // time under the first practical configuration: every realisable ψ(i,j) must
-// satisfy req. This is the production check used by the selectors.
+// satisfy req. This is the production check used by the miners and selectors.
+//
+// It evaluates each ψ(i,j) = ring \ T̃(h_j) directly on the ring's incremental
+// HT histogram: dropping T̃(h_j) is dropping one whole histogram class, which
+// Histogram.SlackWithout reads off the count-of-counts index without
+// materialising any ψ token set (the former path built one histogram and one
+// TokenSet per class).
 func AllSatisfyClosedForm(ringTokens chain.TokenSet, subsetCount int, origin func(chain.TokenID) chain.TxID, req diversity.Requirement) bool {
-	for _, cf := range ClosedFormSets(ringTokens, subsetCount, origin) {
-		if !diversity.SatisfiesTokens(cf.Psi, origin, req) {
+	h := diversity.HistogramOf(ringTokens, origin)
+	ok := true
+	h.Each(func(ht chain.TxID, n int) bool {
+		if subsetCount < len(ringTokens)-n+1 {
+			return true // Theorem 6.1: no DTRS can determine ht
+		}
+		if h.SlackWithout(req, ht) >= 0 {
+			ok = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ok
 }

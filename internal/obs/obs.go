@@ -121,6 +121,38 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed values
+// by linear interpolation inside the containing bucket. Values that landed in
+// the +Inf bucket are clamped to that bucket's lower bound, so tail quantiles
+// are lower bounds when observations exceeded the largest bound. Returns 0
+// for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum, lower := 0.0, 0.0
+	for _, b := range s.Buckets {
+		if b.Le < 0 { // +Inf bucket
+			return lower
+		}
+		upper := float64(b.Le)
+		next := cum + float64(b.Count)
+		if next >= rank && b.Count > 0 {
+			frac := (rank - cum) / float64(b.Count)
+			return lower + frac*(upper-lower)
+		}
+		cum, lower = next, upper
+	}
+	return lower
+}
+
 // Snapshot copies the histogram's current state. Concurrent observations may
 // straddle the copy; each bucket read is individually atomic.
 func (h *Histogram) Snapshot() HistogramSnapshot {

@@ -42,6 +42,17 @@ func BFS(p *ExactProblem) (res Result, err error) {
 	sigma := p.Universe.Remove(p.Target) // candidate mixins
 	iters := 0
 
+	// Precompute every candidate's HT once and reuse one incremental
+	// histogram across the enumeration: the diversity constraint is checked
+	// allocation-free before any candidate ring is materialised or the
+	// exponential DTRS machinery runs.
+	hts := make([]chain.TxID, len(sigma))
+	for i, t := range sigma {
+		hts[i] = p.Origin(t)
+	}
+	targetHT := p.Origin(p.Target)
+	h := diversity.NewHistogram()
+
 	// Minimum mixin count: the ring needs ≥ ℓ distinct HTs, hence ≥ ℓ
 	// tokens, hence ≥ ℓ−1 mixins (Algorithm 2 line 2).
 	start := p.Req.L - 1
@@ -50,8 +61,21 @@ func BFS(p *ExactProblem) (res Result, err error) {
 	}
 	for k := start; k <= len(sigma); k++ {
 		var found chain.TokenSet
-		err := forEachTokenSubset(sigma, k, func(mixins chain.TokenSet) (bool, error) {
+		err := forEachIndexSubset(len(sigma), k, func(idx []int) (bool, error) {
 			iters++
+			// Diversity pre-check (Algorithm 2 lines 6–8) on the index.
+			h.Reset()
+			h.Add(targetHT)
+			for _, j := range idx {
+				h.Add(hts[j])
+			}
+			if !h.Satisfies(p.Req) {
+				return true, nil
+			}
+			mixins := make(chain.TokenSet, k)
+			for i, j := range idx {
+				mixins[i] = sigma[j]
+			}
 			rs := mixins.Add(p.Target)
 			ok, err := eligible(p, rs)
 			if err != nil {
@@ -73,13 +97,10 @@ func BFS(p *ExactProblem) (res Result, err error) {
 	return Result{}, ErrNoEligible
 }
 
-// eligible checks the full Definition-5 constraint set for a candidate ring.
+// eligible checks the non-eliminated and immutability constraints for a
+// candidate ring; the caller has already verified the diversity constraint
+// on the incremental index.
 func eligible(p *ExactProblem, rs chain.TokenSet) (bool, error) {
-	// Diversity constraint on the candidate itself (Algorithm 2 lines 6–8).
-	if !diversity.SatisfiesTokens(rs, p.Origin, p.Req) {
-		return false, nil
-	}
-
 	// Build the instance: related rings plus the candidate (lines 5, 9).
 	related := rsgraph.RelatedSet(p.Rings, rs)
 	rings := make([]rsgraph.Ring, 0, len(related)+1)
@@ -115,11 +136,11 @@ func eligible(p *ExactProblem, rs chain.TokenSet) (bool, error) {
 	return true, nil
 }
 
-// forEachTokenSubset enumerates size-k subsets of the sorted set s in
-// lexicographic order, yielding each as a fresh TokenSet. The callback
-// returns (continue, error).
-func forEachTokenSubset(s chain.TokenSet, k int, f func(chain.TokenSet) (bool, error)) error {
-	if k > len(s) || k < 0 {
+// forEachIndexSubset enumerates size-k subsets of {0, …, n−1} in
+// lexicographic order. The yielded slice is reused between calls; the
+// callback must not retain it. It returns (continue, error).
+func forEachIndexSubset(n, k int, f func([]int) (bool, error)) error {
+	if k > n || k < 0 {
 		return nil
 	}
 	idx := make([]int, k)
@@ -127,11 +148,7 @@ func forEachTokenSubset(s chain.TokenSet, k int, f func(chain.TokenSet) (bool, e
 		idx[i] = i
 	}
 	for {
-		subset := make(chain.TokenSet, k)
-		for i, j := range idx {
-			subset[i] = s[j]
-		}
-		cont, err := f(subset)
+		cont, err := f(idx)
 		if err != nil {
 			return err
 		}
@@ -139,7 +156,7 @@ func forEachTokenSubset(s chain.TokenSet, k int, f func(chain.TokenSet) (bool, e
 			return nil
 		}
 		i := k - 1
-		for i >= 0 && idx[i] == len(s)-k+i {
+		for i >= 0 && idx[i] == n-k+i {
 			i--
 		}
 		if i < 0 {

@@ -129,12 +129,11 @@ func TestBFSAtMostProgressive(t *testing.T) {
 	}
 }
 
-func TestForEachTokenSubset(t *testing.T) {
-	s := chain.NewTokenSet(1, 2, 3, 4)
+func TestForEachIndexSubset(t *testing.T) {
 	var count int
-	err := forEachTokenSubset(s, 2, func(sub chain.TokenSet) (bool, error) {
-		if len(sub) != 2 || !sub.IsSorted() {
-			t.Fatalf("bad subset %v", sub)
+	err := forEachIndexSubset(4, 2, func(idx []int) (bool, error) {
+		if len(idx) != 2 || idx[0] >= idx[1] || idx[1] > 3 {
+			t.Fatalf("bad subset %v", idx)
 		}
 		count++
 		return true, nil
@@ -145,8 +144,8 @@ func TestForEachTokenSubset(t *testing.T) {
 	if count != 6 {
 		t.Fatalf("C(4,2) = 6, got %d", count)
 	}
-	// k > len: no calls, no error.
-	if err := forEachTokenSubset(s, 9, func(chain.TokenSet) (bool, error) {
+	// k > n: no calls, no error.
+	if err := forEachIndexSubset(4, 9, func([]int) (bool, error) {
 		t.Fatal("must not be called")
 		return false, nil
 	}); err != nil {
@@ -154,7 +153,7 @@ func TestForEachTokenSubset(t *testing.T) {
 	}
 	// Early stop.
 	count = 0
-	_ = forEachTokenSubset(s, 1, func(chain.TokenSet) (bool, error) {
+	_ = forEachIndexSubset(4, 1, func([]int) (bool, error) {
 		count++
 		return false, nil
 	})

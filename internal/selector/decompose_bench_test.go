@@ -1,0 +1,39 @@
+package selector
+
+import (
+	"testing"
+
+	"tokenmagic/internal/workload"
+)
+
+// BenchmarkDecompose covers the sorted-by-size decomposition pass on the
+// default synthetic universe (~50 super rings over ~760 tokens).
+func BenchmarkDecompose(b *testing.B) {
+	d, err := workload.Synthetic(workload.DefaultSynthetic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rings := d.Rings()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		supers, _ := Decompose(rings, d.Universe)
+		if len(supers) == 0 {
+			b.Fatal("no supers")
+		}
+	}
+}
+
+// BenchmarkDecomposeReal covers the real Monero data set's ring population.
+func BenchmarkDecomposeReal(b *testing.B) {
+	d, err := workload.RealMonero(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rings := d.Rings()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(rings, d.Universe)
+	}
+}

@@ -43,7 +43,7 @@ func Game(p *Problem) (res Result, err error) {
 	// cost of the current profile for every player (common cost game).
 	cost := func() float64 {
 		if st.hist.Satisfies(p.Req) {
-			return float64(len(st.tokens)) / float64(nPlayers)
+			return float64(st.nTokens) / float64(nPlayers)
 		}
 		return math.Inf(1)
 	}

@@ -14,12 +14,19 @@
 // Definitions 7–8), and its HT multiset must satisfy the headroom
 // requirement (c, ℓ+1) so that every DTRS retains (c, ℓ) (Theorem 6.4) and
 // existing rings keep their declared diversity (immutability for free).
+//
+// The greedy hot loops are allocation-free: each module's HT footprint
+// (distinct HTs plus multiplicities) is computed once per Problem, slack
+// probes are delta evaluations against the incremental diversity index
+// (diversity.Histogram), and the running selection tracks only a token
+// count — the result TokenSet is materialised once, at the end.
 package selector
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
@@ -36,6 +43,34 @@ type Module struct {
 // Size returns |x_i|, the token count of the module.
 func (m Module) Size() int { return len(m.Tokens) }
 
+// footprint is a module's HT profile: the distinct HTs its tokens map to and
+// how many tokens map to each. Precomputed once per Problem so the greedy
+// loops never call Origin or build scratch maps.
+type footprint struct {
+	txs []chain.TxID
+	ns  []int
+}
+
+func footprintOf(m Module, origin func(chain.TokenID) chain.TxID) footprint {
+	var fp footprint
+	for _, t := range m.Tokens {
+		h := origin(t)
+		found := false
+		for j, x := range fp.txs {
+			if x == h {
+				fp.ns[j]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			fp.txs = append(fp.txs, h)
+			fp.ns = append(fp.ns, 1)
+		}
+	}
+	return fp
+}
+
 // Super is a super ring signature (Definition 7) with its subset count v.
 type Super struct {
 	Ring        chain.RingRecord
@@ -46,11 +81,37 @@ type Super struct {
 // fresh tokens (Definitions 7 and 8). rings must be in proposal order.
 // A ring is super when no later ring is a superset of it; a token is fresh
 // when no ring contains it.
+//
+// Rings are scanned in one sorted-by-size order: a superset of r must be at
+// least as large as r and a subset at most as large, so each check walks the
+// size-sorted candidates and exits as soon as sizes cross |r| — O(r log r)
+// for the sort plus only the size-admissible subset checks, instead of the
+// former all-pairs O(r²).
 func Decompose(rings []chain.RingRecord, universe chain.TokenSet) (supers []Super, fresh chain.TokenSet) {
+	n := len(rings)
+	// Indices sorted by ring size, descending; sizeAsc is the same walk from
+	// the other end.
+	bySizeDesc := make([]int, n)
+	for i := range bySizeDesc {
+		bySizeDesc[i] = i
+	}
+	sort.SliceStable(bySizeDesc, func(a, b int) bool {
+		return len(rings[bySizeDesc[a]].Tokens) > len(rings[bySizeDesc[b]].Tokens)
+	})
+
+	var coveredIDs []chain.TokenID
+	for _, r := range rings {
+		coveredIDs = append(coveredIDs, r.Tokens...)
+	}
+
 	for i, ri := range rings {
+		size := len(ri.Tokens)
 		isSuper := true
-		for j := i + 1; j < len(rings); j++ {
-			if ri.Tokens.SubsetOf(rings[j].Tokens) {
+		for _, j := range bySizeDesc {
+			if len(rings[j].Tokens) < size {
+				break // early exit: no smaller ring can be a superset
+			}
+			if j > i && ri.Tokens.SubsetOf(rings[j].Tokens) {
 				isSuper = false
 				break
 			}
@@ -59,18 +120,18 @@ func Decompose(rings []chain.RingRecord, universe chain.TokenSet) (supers []Supe
 			continue
 		}
 		v := 0
-		for _, rj := range rings {
-			if rj.Tokens.SubsetOf(ri.Tokens) {
+		for k := n - 1; k >= 0; k-- {
+			j := bySizeDesc[k]
+			if len(rings[j].Tokens) > size {
+				break // early exit: no larger ring can be a subset
+			}
+			if rings[j].Tokens.SubsetOf(ri.Tokens) {
 				v++
 			}
 		}
 		supers = append(supers, Super{Ring: ri, SubsetCount: v})
 	}
-	covered := chain.TokenSet{}
-	for _, r := range rings {
-		covered = covered.Union(r.Tokens)
-	}
-	fresh = universe.Minus(covered)
+	fresh = universe.Minus(chain.NewTokenSet(coveredIDs...))
 	return supers, fresh
 }
 
@@ -91,6 +152,26 @@ type Problem struct {
 	// must satisfy. Callers wanting the second practical configuration pass
 	// the user requirement tightened via Requirement.WithHeadroom.
 	Req diversity.Requirement
+
+	// Precomputed HT footprints (mandatory module, then one per candidate),
+	// filled by NewProblem or lazily on first solve.
+	mandFP   footprint
+	candFP   []footprint
+	prepared bool
+}
+
+// prepare computes the per-module HT footprints once. NewProblem calls it
+// eagerly; Problems assembled by hand get it on first solve.
+func (p *Problem) prepare() {
+	if p.prepared {
+		return
+	}
+	p.mandFP = footprintOf(p.Mandatory, p.Origin)
+	p.candFP = make([]footprint, len(p.Candidates))
+	for i := range p.Candidates {
+		p.candFP[i] = footprintOf(p.Candidates[i], p.Origin)
+	}
+	p.prepared = true
 }
 
 // NewProblem assembles a Problem from a decomposition. It locates the module
@@ -129,6 +210,7 @@ func NewProblem(target chain.TokenID, supers []Super, fresh chain.TokenSet, orig
 	if !found {
 		return nil, fmt.Errorf("selector: target %v not in universe", target)
 	}
+	p.prepare()
 	return p, nil
 }
 
@@ -153,34 +235,45 @@ func (r Result) Size() int { return len(r.Tokens) }
 // increase c or decrease ℓ — and retry.
 var ErrNoEligible = errors.New("selector: no eligible ring signature exists; relax the diversity requirement")
 
-// state tracks the running selection shared by the greedy algorithms.
+// state tracks the running selection shared by the greedy algorithms. Module
+// unions are tracked as an incremental HT histogram plus a token count;
+// modules never overlap under the first practical configuration, so the
+// union's cardinality is the sum of the selected modules' sizes and the full
+// TokenSet only needs materialising once, in result().
 type state struct {
 	p        *Problem
-	tokens   chain.TokenSet
 	hist     *diversity.Histogram
 	selected []bool // over p.Candidates
 	modules  int
+	nTokens  int // |union of selected modules|
 	iters    int
 }
 
 func newState(p *Problem) *state {
-	return &state{
+	p.prepare()
+	st := &state{
 		p:        p,
-		tokens:   p.Mandatory.Tokens.Clone(),
-		hist:     diversity.HistogramOf(p.Mandatory.Tokens, p.Origin),
+		hist:     diversity.NewHistogram(),
 		selected: make([]bool, len(p.Candidates)),
 		modules:  1,
+		nTokens:  len(p.Mandatory.Tokens),
 	}
+	fp := &p.mandFP
+	for j, tx := range fp.txs {
+		st.hist.AddN(tx, fp.ns[j])
+	}
+	return st
 }
 
 // add selects candidate i.
 func (st *state) add(i int) {
 	st.selected[i] = true
 	st.modules++
-	for _, t := range st.p.Candidates[i].Tokens {
-		st.hist.Add(st.p.Origin(t))
+	st.nTokens += st.p.Candidates[i].Size()
+	fp := &st.p.candFP[i]
+	for j, tx := range fp.txs {
+		st.hist.AddN(tx, fp.ns[j])
 	}
-	st.tokens = st.tokens.Union(st.p.Candidates[i].Tokens)
 }
 
 // remove deselects candidate i. Only valid when modules do not overlap
@@ -188,37 +281,43 @@ func (st *state) add(i int) {
 func (st *state) remove(i int) {
 	st.selected[i] = false
 	st.modules--
-	for _, t := range st.p.Candidates[i].Tokens {
-		st.hist.Remove(st.p.Origin(t))
+	st.nTokens -= st.p.Candidates[i].Size()
+	fp := &st.p.candFP[i]
+	for j, tx := range fp.txs {
+		st.hist.RemoveN(tx, fp.ns[j])
 	}
-	st.tokens = st.tokens.Minus(st.p.Candidates[i].Tokens)
 }
 
+// result materialises the selection as a TokenSet.
 func (st *state) result() Result {
-	return Result{Tokens: st.tokens, Modules: st.modules, Iterations: st.iters}
+	ids := make([]chain.TokenID, 0, st.nTokens)
+	ids = append(ids, st.p.Mandatory.Tokens...)
+	for i, sel := range st.selected {
+		if sel {
+			ids = append(ids, st.p.Candidates[i].Tokens...)
+		}
+	}
+	return Result{Tokens: chain.NewTokenSet(ids...), Modules: st.modules, Iterations: st.iters}
 }
 
-// newHTs counts |H_i \ H|: distinct HTs the module would newly contribute.
-func (st *state) newHTs(m Module) int {
-	seen := make(map[chain.TxID]bool, len(m.Tokens))
+// newHTs counts |H_i \ H|: distinct HTs candidate i would newly contribute.
+func (st *state) newHTs(i int) int {
 	n := 0
-	for _, t := range m.Tokens {
-		h := st.p.Origin(t)
-		if !seen[h] && st.hist.Count(h) == 0 {
+	for _, tx := range st.p.candFP[i].txs {
+		if st.hist.Count(tx) == 0 {
 			n++
 		}
-		seen[h] = true
 	}
 	return n
 }
 
-// slackWith returns δ_i: the requirement slack if module i were added.
+// slackWith returns δ_i: the requirement slack if candidate i were added.
+// It is a read-only delta probe against the incremental index: the module's
+// precomputed footprint is overlaid on the count-of-counts walk without
+// mutating the histogram — no cloning, no allocation, no undo step.
 func (st *state) slackWith(i int) float64 {
-	h := st.hist.Clone()
-	for _, t := range st.p.Candidates[i].Tokens {
-		h.Add(st.p.Origin(t))
-	}
-	return h.Slack(st.p.Req)
+	fp := &st.p.candFP[i]
+	return st.hist.SlackIfAddedN(st.p.Req, fp.txs, fp.ns)
 }
 
 // coverHTPhase runs the shared first phase of Progressive and Game
@@ -235,7 +334,7 @@ func (st *state) coverHTPhase() error {
 			if st.selected[i] {
 				continue
 			}
-			gain := st.newHTs(m)
+			gain := st.newHTs(i)
 			if gain == 0 {
 				continue // α_i = ∞
 			}

@@ -104,7 +104,13 @@ type Framework struct {
 	// whenever the ledger's ring count moves (every Commit invalidates).
 	// Candidate sampling solves once per batch token, so without the cache
 	// Algorithm 1 re-runs RingsOver+Decompose |T| times per spend.
-	decompMu sync.Mutex
+	//
+	// decompMu guards only the map of per-batch entries; hits read the
+	// entry's atomic snapshot under the read lock, and a stale entry is
+	// refreshed under the entry's own mutex (single-flight per batch), so
+	// concurrent sampleCandidates workers never serialise globally on a
+	// recompute.
+	decompMu sync.RWMutex
 	decomp   map[int]*decompCache
 
 	metrics fwMetrics
@@ -211,7 +217,16 @@ func (f *Framework) Stats() Stats {
 	}
 }
 
+// decompCache is one batch's cache slot: an immutable snapshot swapped
+// atomically, plus a refresh mutex that single-flights recomputation.
 type decompCache struct {
+	refreshMu sync.Mutex
+	snap      atomic.Pointer[decompSnapshot]
+}
+
+// decompSnapshot is an immutable decomposition of one batch at one ledger
+// version. Readers share it without locking.
+type decompSnapshot struct {
 	ringCount int // ledger.NumRS() when filled
 	rings     []chain.RingRecord
 	supers    []selector.Super
@@ -294,26 +309,48 @@ func (f *Framework) problemFor(target chain.TokenID, req diversity.Requirement) 
 	return p, b.Tokens, nil
 }
 
-// decompFor returns the batch's decomposition, refreshing it if stale.
-func (f *Framework) decompFor(b chain.Batch) *decompCache {
-	f.decompMu.Lock()
-	defer f.decompMu.Unlock()
-	if f.decomp == nil {
-		f.decomp = make(map[int]*decompCache)
+// decompFor returns the batch's decomposition, refreshing it if stale. Cache
+// hits take only the read lock plus an atomic load; a miss recomputes under
+// the batch's own refresh mutex, so concurrent workers on the same stale
+// batch wait for one recompute (single-flight) while other batches proceed.
+func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
+	f.decompMu.RLock()
+	dc := f.decomp[b.Index]
+	f.decompMu.RUnlock()
+	if dc == nil {
+		f.decompMu.Lock()
+		if f.decomp == nil {
+			f.decomp = make(map[int]*decompCache)
+		}
+		if dc = f.decomp[b.Index]; dc == nil {
+			dc = &decompCache{}
+			f.decomp[b.Index] = dc
+		}
+		f.decompMu.Unlock()
 	}
 	cur := f.ledger.NumRS()
-	if dc, ok := f.decomp[b.Index]; ok && dc.ringCount == cur {
+	if s := dc.snap.Load(); s != nil && s.ringCount == cur {
 		f.stats.cacheHits.Add(1)
 		f.metrics.cacheHits.Inc()
-		return dc
+		return s
+	}
+	dc.refreshMu.Lock()
+	defer dc.refreshMu.Unlock()
+	// Re-check: another worker may have refreshed while we waited, and the
+	// ledger may have grown again — always refresh to the latest version.
+	cur = f.ledger.NumRS()
+	if s := dc.snap.Load(); s != nil && s.ringCount == cur {
+		f.stats.cacheHits.Add(1)
+		f.metrics.cacheHits.Inc()
+		return s
 	}
 	f.stats.cacheMisses.Add(1)
 	f.metrics.cacheMisses.Inc()
 	rings := f.ledger.RingsOver(b.Tokens)
 	supers, fresh := selector.Decompose(rings, b.Tokens)
-	dc := &decompCache{ringCount: cur, rings: rings, supers: supers, fresh: fresh}
-	f.decomp[b.Index] = dc
-	return dc
+	s := &decompSnapshot{ringCount: cur, rings: rings, supers: supers, fresh: fresh}
+	dc.snap.Store(s)
+	return s
 }
 
 // solve dispatches to the configured solver, recording per-algorithm count
