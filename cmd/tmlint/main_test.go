@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixture resolves a golden fixture directory relative to this package.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", name)
+}
+
+// TestRunExitCodes drives the CLI entry point over the golden fixtures: the
+// unscoped analyzers fire on their positive fixtures under the natural
+// testdata import path, so each directory must exit 1.
+func TestRunExitCodes(t *testing.T) {
+	for _, name := range []string{"errdrop", "lockcheck", "atomiccheck", "setmutation"} {
+		if got := run([]string{fixture(name)}); got != 1 {
+			t.Errorf("tmlint on the %s positive fixture: exit %d, want 1", name, got)
+		}
+	}
+	if got := run([]string{filepath.Join("..", "..", "internal", "obs")}); got != 0 {
+		t.Errorf("tmlint on a clean package: exit %d, want 0", got)
+	}
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("tmlint -list: exit %d, want 0", got)
+	}
+}
+
+// TestRunPolicyDeny exercises the deny action end to end: the scoped
+// cryptorand and determinism fixtures lie outside their analyzers' scopes
+// under the natural testdata paths, and a deny rule drags them back in.
+func TestRunPolicyDeny(t *testing.T) {
+	pol := filepath.Join(t.TempDir(), "policy.json")
+	rules := `{"rules":[
+		{"analyzer":"cryptorand","path":"internal/analysis/testdata/cryptorand","action":"deny","reason":"exercise deny"},
+		{"analyzer":"determinism","path":"internal/analysis/testdata/determinism","action":"deny","reason":"exercise deny"}]}`
+	if err := os.WriteFile(pol, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"cryptorand", "determinism"} {
+		if got := run([]string{fixture(name)}); got != 0 {
+			t.Errorf("without the deny rule the %s fixture is out of scope: exit %d, want 0", name, got)
+		}
+		if got := run([]string{"-policy", pol, fixture(name)}); got != 1 {
+			t.Errorf("the deny rule should pull the %s fixture into scope: exit %d, want 1", name, got)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package analysis is tmlint's stdlib-only static-analysis framework: a
+// package loader / type-checker built on go/parser + go/types (no
+// golang.org/x/tools dependency), an Analyzer interface with positioned
+// diagnostics, a per-path allow/deny policy, and //lint:ignore suppression.
+//
+// The framework exists because the repository's correctness properties —
+// unlinkability of the ring-signature layer, the recursive (c, ℓ)-diversity
+// invariants, the lock and atomic discipline of the PR 1/PR 2 hot paths —
+// are exactly the properties that silent drift destroys without failing a
+// test. Each analyzer machine-checks one such invariant on every commit; the
+// cmd/tmlint binary wires them into CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run is invoked once per loaded package that
+// the analyzer's scope (plus policy "deny" extensions) selects.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, policy rules and
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by `tmlint -list`.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path equals or
+	// is a sub-path of one of these prefixes. Empty means every package.
+	// Policy rules with action "deny" extend the scope per file path;
+	// rules with action "allow" exempt file paths.
+	Scope []string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer's static scope selects the package
+// import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || (len(pkgPath) > len(s) && pkgPath[:len(s)] == s && pkgPath[len(s)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// RelPath returns a file path relative to the module root (the form the
+	// policy matches against); it falls back to the raw path outside it.
+	RelPath func(filename string) string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,109 @@
+// Package analyzers holds tmlint's project-specific checks. Each analyzer
+// machine-checks one invariant the paper's guarantees rest on — signer
+// randomness quality, lock discipline on the solver hot paths, atomic
+// access consistency, error handling in the serving layer, benchmark
+// determinism, and the read-only delta-probe contract of PR 2.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tokenmagic/internal/analysis"
+)
+
+// All returns every analyzer in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Cryptorand,
+		Lockcheck,
+		Atomiccheck,
+		Errdrop,
+		Determinism,
+		Setmutation,
+	}
+}
+
+// ByName resolves one analyzer; nil when unknown.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil (builtins,
+// conversions, calls through function-typed variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgFunc reports whether fn is the package-level function pkgPath.name
+// (receiver-less).
+func pkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call carries an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return t != nil && types.Identical(t, errorType)
+	}
+}
+
+// funcBodies yields every function body of a file — declarations and
+// literals — each exactly once, so linear intra-procedural checks never mix
+// scopes. The enclosing declaration (nil for literals without one) names
+// the report.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", fn.Body)
+		}
+		return true
+	})
+}
+
+// walkShallow walks the statement tree under root but does not descend into
+// nested function literals (they are separate scopes).
+func walkShallow(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,106 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Atomiccheck flags mixed atomic and plain access to the same variable,
+// modelled on internal/obs: once any code touches a field through
+// sync/atomic (atomic.AddInt64(&s.n, 1)), every other access in the package
+// must be atomic too, or the happens-before edges the snapshot API depends
+// on silently vanish. Fields of the atomic.* value types (atomic.Int64,
+// atomic.Pointer) are safe by construction and never flagged.
+var Atomiccheck = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "flag variables accessed both through sync/atomic and directly in the same package",
+	Run:  runAtomiccheck,
+}
+
+func runAtomiccheck(pass *analysis.Pass) error {
+	atomicObjs := make(map[*types.Var]token.Position)
+	// Identifier positions consumed by &x arguments of atomic calls; these
+	// are the sanctioned uses and must not count as plain accesses.
+	sanctioned := make(map[token.Pos]bool)
+
+	// Pass 1: find atomic call sites and the variables they target.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !pkgFunc(fn, "sync/atomic") || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			id := targetIdent(unary.X)
+			if id == nil {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, seen := atomicObjs[v]; !seen {
+				atomicObjs[v] = pass.Fset.Position(call.Pos())
+			}
+			sanctioned[id.Pos()] = true
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those variables must be atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id.Pos()] {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if first, hot := atomicObjs[v]; hot {
+				pass.Reportf(id.Pos(),
+					"%s is accessed atomically at %s but plainly here: mixed access drops the atomicity guarantee",
+					id.Name, shortPos(first))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// targetIdent returns the identifier naming the addressed variable: the
+// field of a selector chain (&s.n) or a bare identifier (&n).
+func targetIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// shortPos renders a position as base-filename:line for compact messages.
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

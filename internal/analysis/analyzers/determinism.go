@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Determinism keeps the solver hot loops and the simulator reproducible:
+// differential tests (engine vs from-scratch model), solver-equivalence
+// tests and the benchmark figures all assume a fixed seed replays
+// byte-identically. Inside internal/sim, internal/selector,
+// internal/diversity and internal/dtrs it forbids wall-clock reads
+// (time.Now / time.Since) and draws from math/rand's process-global source
+// (auto-seeded since Go 1.20, so nondeterministic across runs).
+// Constructing a generator from an explicit seed (rand.New(rand.NewSource))
+// and using an injected *rand.Rand both remain allowed.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now and global math/rand in internal/sim and the " +
+		"solver hot loops so benchmarks and differential tests stay reproducible",
+	Scope: []string{
+		"tokenmagic/internal/sim",
+		"tokenmagic/internal/selector",
+		"tokenmagic/internal/diversity",
+		"tokenmagic/internal/dtrs",
+	},
+	Run: runDeterminism,
+}
+
+// deterministicRandFuncs are the math/rand package-level functions that do
+// not draw from the global source.
+var deterministicRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2 explicit-seed constructors
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case pkgFunc(fn, "time") && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				pass.Reportf(call.Pos(),
+					"time.%s in a deterministic package: take timestamps outside the solver/sim layer",
+					fn.Name())
+			case (pkgFunc(fn, "math/rand") || pkgFunc(fn, "math/rand/v2")) && !deterministicRandFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the auto-seeded global source: thread a seeded *rand.Rand through instead",
+					fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Errdrop flags calls whose error result is silently discarded — a call
+// used as a bare expression statement while its signature includes an
+// error. In the serving layer a dropped encode/write error hides exactly
+// the partial-response bugs the observability layer exists to count.
+//
+// Deliberate discards stay available and visible: assign the error to _
+// ("_ = enc.Encode(v)"), which the analyzer treats as an explicit
+// annotation. `go` and `defer` statements are exempt (errors there are
+// unobtainable without restructuring), as are fmt's stdout printers and
+// the never-failing bytes.Buffer / strings.Builder writers.
+var Errdrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag expression-statement calls that discard an error result (outside tests)",
+	Run:  runErrdrop,
+}
+
+// errdropExactAllowed lists receiver-less functions whose errors are
+// conventionally ignored.
+var errdropExactAllowed = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// errdropPrefixAllowed lists method prefixes (types.Func.FullName form)
+// that are documented never to return a non-nil error.
+var errdropPrefixAllowed = []string{
+	"(*bytes.Buffer).",
+	"(*strings.Builder).",
+}
+
+func errdropAllowed(info *types.Info, fn *types.Func, call *ast.CallExpr) bool {
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if errdropExactAllowed[full] {
+		return true
+	}
+	for _, p := range errdropPrefixAllowed {
+		if strings.HasPrefix(full, p) {
+			return true
+		}
+	}
+	// fmt.Fprint* straight to the process's stdout/stderr is conventional;
+	// the same call against a file or network writer is still a finding.
+	switch full {
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return len(call.Args) > 0 && isStdStream(info, call.Args[0])
+	}
+	return false
+}
+
+// isStdStream reports whether e denotes os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" &&
+		(v.Name() == "Stdout" || v.Name() == "Stderr")
+}
+
+func runErrdrop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass.Info, call) {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if errdropAllowed(pass.Info, fn, call) {
+				return true
+			}
+			name := "call"
+			if fn != nil {
+				name = fn.FullName()
+			}
+			pass.Reportf(stmt.Pos(),
+				"%s returns an error that is discarded: handle it, count it in obs, or assign it to _ explicitly",
+				name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Lockcheck enforces the lock discipline of the PR 1/PR 2 hot paths
+// (Framework.decompFor, the batchsvc RWMutex, the obs registry): every
+// Lock/RLock must be released on every return path, read locks must not be
+// upgraded in place, and mutexes must not be copied by value.
+//
+// The analysis is intra-procedural and linear in source order — precise
+// enough for this codebase's straight-line locking style, and every finding
+// it cannot prove wrong must either be fixed or carry a //lint:ignore with
+// the proof. Checks:
+//
+//  1. a Lock (RLock) with no matching Unlock (RUnlock) and no deferred
+//     release anywhere in the function;
+//  2. a return statement between a Lock (RLock) and its first subsequent
+//     release, with no deferred release covering it;
+//  3. an RLock followed by a Lock on the same mutex with no intervening
+//     RUnlock — the classic RWMutex self-deadlocking upgrade;
+//  4. a sync.Mutex / sync.RWMutex received or returned by value.
+var Lockcheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "Lock/RLock released on every return path, no in-place RWMutex " +
+		"upgrades, no mutexes copied by value",
+	Run: runLockcheck,
+}
+
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evRLock
+	evRUnlock
+	evReturn
+)
+
+type lockEvent struct {
+	kind lockEventKind
+	pos  token.Pos
+}
+
+// lockMethods maps method names to event kinds.
+var lockMethods = map[string]lockEventKind{
+	"Lock":    evLock,
+	"Unlock":  evUnlock,
+	"RLock":   evRLock,
+	"RUnlock": evRUnlock,
+}
+
+// isMutexMethod reports whether the call selects one of sync's locking
+// methods (directly, through an embedded mutex, or via sync.Locker).
+func isMutexMethod(info *types.Info, call *ast.CallExpr) (key string, kind lockEventKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	kind, named := lockMethods[sel.Sel.Name]
+	if !named {
+		return "", 0, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", 0, false
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync.Mutex).") &&
+		!strings.HasPrefix(full, "(*sync.RWMutex).") &&
+		!strings.HasPrefix(full, "(sync.Locker).") {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+func runLockcheck(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkMutexByValue(pass, f)
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkLockPairing(pass, name, body)
+		})
+	}
+	return nil
+}
+
+// checkMutexByValue flags sync.Mutex/RWMutex in by-value parameter or
+// result positions (go vet's copylocks catches assignments; this catches
+// the signatures that invite them).
+func checkMutexByValue(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ft, ok := n.(*ast.FuncType)
+		if !ok {
+			return true
+		}
+		check := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				t := pass.Info.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if named, ok := t.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+						(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+						pass.Reportf(field.Pos(), "sync.%s %s by value copies the lock: use a pointer", obj.Name(), what)
+					}
+				}
+			}
+		}
+		check(ft.Params, "passed")
+		check(ft.Results, "returned")
+		return true
+	})
+}
+
+// checkLockPairing runs the linear per-mutex event checks over one function
+// body (nested function literals are separate scopes).
+func checkLockPairing(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	events := make(map[string][]lockEvent) // mutex expr → ordered events
+	deferred := make(map[string]map[lockEventKind]bool)
+	var keys []string // first-seen order for deterministic reports
+
+	record := func(key string, ev lockEvent) {
+		if _, seen := events[key]; !seen {
+			keys = append(keys, key)
+		}
+		events[key] = append(events[key], ev)
+	}
+	var returns []token.Pos
+
+	walkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if key, kind, ok := isMutexMethod(pass.Info, n.Call); ok {
+				if deferred[key] == nil {
+					deferred[key] = make(map[lockEventKind]bool)
+				}
+				deferred[key][kind] = true
+			}
+			return false // a deferred call runs at exit, not in source order
+		case *ast.CallExpr:
+			if key, kind, ok := isMutexMethod(pass.Info, n); ok {
+				record(key, lockEvent{kind: kind, pos: n.Pos()})
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+
+	for _, key := range keys {
+		evs := events[key]
+		checkOneMutex(pass, name, key, evs, deferred[key], returns, evLock, evUnlock, "Lock", "Unlock")
+		checkOneMutex(pass, name, key, evs, deferred[key], returns, evRLock, evRUnlock, "RLock", "RUnlock")
+		checkUpgrade(pass, key, evs)
+	}
+}
+
+// checkOneMutex applies the missing-release and return-while-locked checks
+// for one acquire/release verb pair on one mutex.
+func checkOneMutex(pass *analysis.Pass, fn, key string, evs []lockEvent, deferred map[lockEventKind]bool,
+	returns []token.Pos, acq, rel lockEventKind, acqName, relName string) {
+	if deferred[rel] {
+		return // a deferred release covers every return path
+	}
+	var acquires, releases []token.Pos
+	for _, ev := range evs {
+		switch ev.kind {
+		case acq:
+			acquires = append(acquires, ev.pos)
+		case rel:
+			releases = append(releases, ev.pos)
+		}
+	}
+	if len(acquires) == 0 {
+		return
+	}
+	if len(releases) == 0 {
+		pass.Reportf(acquires[0], "%s: %s.%s() is never released in %s (no %s, no defer)",
+			fn, key, acqName, fn, relName)
+		return
+	}
+	for _, a := range acquires {
+		next := token.Pos(-1)
+		for _, r := range releases {
+			if r > a {
+				next = r
+				break
+			}
+		}
+		for _, ret := range returns {
+			if ret > a && (next == token.Pos(-1) || ret < next) {
+				pass.Reportf(ret, "return while %s is held by %s() above (no defer %s.%s())",
+					key, acqName, key, relName)
+				break // one report per acquire is enough
+			}
+		}
+	}
+}
+
+// checkUpgrade flags RLock → Lock on the same mutex without an intervening
+// RUnlock: sync.RWMutex is not upgradeable, so this self-deadlocks. A
+// deferred RUnlock does not help — it runs after the Lock.
+func checkUpgrade(pass *analysis.Pass, key string, evs []lockEvent) {
+	for i, ev := range evs {
+		if ev.kind != evRLock {
+			continue
+		}
+		for _, later := range evs[i+1:] {
+			if later.kind == evRUnlock {
+				break
+			}
+			if later.kind == evLock {
+				pass.Reportf(later.pos, "%s.Lock() while the read lock from %s.RLock() is still held: RWMutex cannot be upgraded (self-deadlock)",
+					key, key)
+				return
+			}
+		}
+	}
+}

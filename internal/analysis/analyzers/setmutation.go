@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Setmutation machine-checks the PR 2 delta-probe contract: functions that
+// document a TokenSet, Histogram or footprint-slice parameter as read-only
+// must not mutate it. The contract is declared with a directive in the
+// function's doc comment:
+//
+//	//tmlint:readonly universe txs ns
+//
+// naming the receiver and/or parameters that are promised untouched. For
+// each declared object the analyzer flags, inside that function body:
+//
+//   - element or index writes (p[i] = v, p[i]++), and delete(p, k);
+//   - append(p, ...) — append may clobber the shared backing array even
+//     when its result is assigned elsewhere;
+//   - calls to mutating methods on the object (Add, AddN, Remove, RemoveN,
+//     Reset, Set, Insert, Delete, Clear — the Histogram/TokenSet mutator
+//     vocabulary);
+//   - handing the object to an in-place stdlib mutator (sort.Slice,
+//     sort.Sort, sort.Ints, ...).
+//
+// Reads, method calls outside the mutator set (the Slack*/Satisfies delta
+// probes), and local rebinding of the name all remain allowed.
+var Setmutation = &analysis.Analyzer{
+	Name: "setmutation",
+	Doc: "forbid mutating parameters declared read-only with //tmlint:readonly " +
+		"(the TokenSet/Histogram delta-probe contract)",
+	Run: runSetmutation,
+}
+
+// mutatorMethods is the method vocabulary that mutates a set/histogram.
+var mutatorMethods = map[string]bool{
+	"Add": true, "AddN": true, "Remove": true, "RemoveN": true,
+	"Reset": true, "Set": true, "Insert": true, "Delete": true, "Clear": true,
+}
+
+// inPlaceSorters are stdlib functions that reorder their argument.
+var inPlaceSorters = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "sort.Ints": true, "sort.Strings": true,
+	"sort.Float64s": true, "slices.Sort": true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true, "slices.Reverse": true,
+}
+
+func runSetmutation(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			names := readonlyNames(fn.Doc)
+			if len(names) == 0 {
+				continue
+			}
+			objs := resolveReadonly(pass, fn, names)
+			if len(objs) == 0 {
+				continue
+			}
+			checkReadonlyBody(pass, fn, objs)
+		}
+	}
+	return nil
+}
+
+// readonlyNames extracts the parameter names declared by //tmlint:readonly
+// directives in a doc comment.
+func readonlyNames(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//tmlint:readonly"); ok {
+			names = append(names, strings.Fields(rest)...)
+		}
+	}
+	return names
+}
+
+// resolveReadonly maps directive names to the function's receiver/parameter
+// objects, reporting names that match nothing.
+func resolveReadonly(pass *analysis.Pass, fn *ast.FuncDecl, names []string) map[*types.Var]string {
+	params := make(map[string]*types.Var)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+					params[id.Name] = v
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	objs := make(map[*types.Var]string)
+	for _, name := range names {
+		v, ok := params[name]
+		if !ok {
+			pass.Reportf(fn.Pos(), "//tmlint:readonly names %q, which is not a parameter of %s", name, fn.Name.Name)
+			continue
+		}
+		objs[v] = name
+	}
+	return objs
+}
+
+// refersTo reports whether e is (after unwrapping parens and slice
+// expressions) an identifier bound to one of the read-only objects.
+func refersTo(pass *analysis.Pass, e ast.Expr, objs map[*types.Var]string) (string, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+				if name, ro := objs[v]; ro {
+					return name, true
+				}
+			}
+			return "", false
+		case *ast.SliceExpr:
+			e = x.X // p[1:] aliases p's backing array
+		default:
+			return "", false
+		}
+	}
+}
+
+func checkReadonlyBody(pass *analysis.Pass, fn *ast.FuncDecl, objs map[*types.Var]string) {
+	walkShallow(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if name, ro := refersTo(pass, idx.X, objs); ro {
+						pass.Reportf(lhs.Pos(), "write to element of read-only parameter %s in %s", name, fn.Name.Name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if name, ro := refersTo(pass, idx.X, objs); ro {
+					pass.Reportf(n.Pos(), "in-place update of element of read-only parameter %s in %s", name, fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkReadonlyCall(pass, fn, n, objs)
+		}
+		return true
+	})
+}
+
+func checkReadonlyCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, objs map[*types.Var]string) {
+	// Builtins: delete(p, k) and append(p, ...).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if name, ro := refersTo(pass, call.Args[0], objs); ro {
+				switch id.Name {
+				case "delete":
+					pass.Reportf(call.Pos(), "delete from read-only parameter %s in %s", name, fn.Name.Name)
+				case "append":
+					pass.Reportf(call.Pos(), "append to read-only parameter %s in %s (may clobber the shared backing array)", name, fn.Name.Name)
+				}
+			}
+		}
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Mutating method on the object itself: p.Add(...).
+	if name, ro := refersTo(pass, sel.X, objs); ro && mutatorMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "%s.%s mutates read-only parameter %s in %s", name, sel.Sel.Name, name, fn.Name.Name)
+		return
+	}
+	// In-place stdlib mutators: sort.Slice(p, ...).
+	if callee := calleeFunc(pass.Info, call); callee != nil && inPlaceSorters[callee.FullName()] {
+		for _, arg := range call.Args {
+			if name, ro := refersTo(pass, arg, objs); ro {
+				pass.Reportf(call.Pos(), "%s reorders read-only parameter %s in %s", callee.FullName(), name, fn.Name.Name)
+			}
+		}
+	}
+}

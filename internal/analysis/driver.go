@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers []string // names, or ["*"]
+}
+
+// parseIgnores extracts the //lint:ignore directives of one file, keyed by
+// the line the directive ends on. A directive suppresses matching findings
+// on its own line (trailing comment) and on the line directly below it
+// (comment above the offending statement). Form:
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// The reason is mandatory; a directive without one is itself reported.
+func parseIgnores(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) < 2 {
+				report(Diagnostic{
+					Analyzer: "tmlint",
+					Pos:      c.Pos(),
+					Position: pos,
+					Message:  "malformed //lint:ignore: need an analyzer name and a reason",
+				})
+				continue
+			}
+			out = append(out, ignoreDirective{
+				line:      fset.Position(c.End()).Line,
+				analyzers: strings.Split(fields[0], ","),
+			})
+		}
+	}
+	return out
+}
+
+func (d ignoreDirective) matches(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == "*" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applying scope, policy and
+// //lint:ignore suppression. Diagnostics come back sorted by position.
+// The returned error reports analyzer failures, not findings.
+func Run(pkgs []*Package, analyzers []*Analyzer, policy *Policy, relPath func(string) string) ([]Diagnostic, error) {
+	if policy == nil {
+		policy = &Policy{}
+	}
+	fileRel := func(pos token.Position) string { return relPath(pos.Filename) }
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// Ignore directives are analyzer-independent; collect once per file.
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg.Fset, f, func(d Diagnostic) {
+				diags = append(diags, d)
+			})...)
+		}
+		for _, a := range analyzers {
+			inScope := a.AppliesTo(pkg.Path)
+			if !inScope && !anyFileDenied(a, pkg, policy, relPath) {
+				continue
+			}
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  relPath,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				rel := fileRel(d.Position)
+				// Out-of-scope packages only report in policy-denied files.
+				if !inScope && !policy.Denies(a.Name, rel) {
+					continue
+				}
+				if policy.Allows(a.Name, rel) {
+					continue
+				}
+				if suppressed(ignores, d) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func suppressed(ignores []ignoreDirective, d Diagnostic) bool {
+	for _, ig := range ignores {
+		if ig.matches(d.Analyzer, d.Position.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyFileDenied reports whether a policy "deny" rule drags any of the
+// package's files into a scoped analyzer's reach.
+func anyFileDenied(a *Analyzer, pkg *Package, policy *Policy, relPath func(string) string) bool {
+	for _, f := range pkg.Files {
+		if policy.Denies(a.Name, relPath(pkg.Fset.Position(f.Pos()).Filename)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Policy is the per-path allow/deny configuration, loaded from the
+// .tmlint.json file at the module root (see README "Static analysis").
+//
+// Rule semantics, applied to a diagnostic's file path relative to the
+// module root:
+//
+//   - action "allow": the path is allowed to do what the analyzer forbids —
+//     matching findings are suppressed. Used for sanctioned exceptions that
+//     are policy (whole files or trees) rather than one-line //lint:ignore
+//     cases.
+//   - action "deny": the path is denied the behaviour even though it lies
+//     outside the analyzer's default scope — scoped analyzers (cryptorand,
+//     determinism) also run on files under the path.
+//
+// The most specific matching rule (longest path prefix) wins; an "allow"
+// and "deny" of equal length resolve to "allow".
+type Policy struct {
+	Rules []Rule `json:"rules"`
+}
+
+// Rule is one policy entry. Path matches itself and everything below it
+// (path-component prefix). Analyzer may be "*".
+type Rule struct {
+	Analyzer string `json:"analyzer"`
+	Path     string `json:"path"`
+	Action   string `json:"action"` // "allow" or "deny"
+	Reason   string `json:"reason,omitempty"`
+}
+
+// LoadPolicy reads a policy file. A missing file yields an empty policy.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Policy{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("analysis: bad policy %s: %w", path, err)
+	}
+	for i, r := range p.Rules {
+		if r.Action != "allow" && r.Action != "deny" {
+			return nil, fmt.Errorf("analysis: policy rule %d: action must be allow or deny, got %q", i, r.Action)
+		}
+		if r.Analyzer == "" || r.Path == "" {
+			return nil, fmt.Errorf("analysis: policy rule %d: analyzer and path are required", i)
+		}
+	}
+	return &p, nil
+}
+
+// pathMatches reports whether rel (slash-separated, module-root-relative)
+// is the rule path or lies below it.
+func pathMatches(rulePath, rel string) bool {
+	rulePath = strings.TrimSuffix(rulePath, "/")
+	return rel == rulePath || strings.HasPrefix(rel, rulePath+"/")
+}
+
+// match returns the winning action ("allow", "deny" or "") for an
+// analyzer/path pair.
+func (p *Policy) match(analyzer, rel string) string {
+	best, bestLen := "", -1
+	for _, r := range p.Rules {
+		if r.Analyzer != "*" && r.Analyzer != analyzer {
+			continue
+		}
+		if !pathMatches(r.Path, rel) {
+			continue
+		}
+		n := len(r.Path)
+		if n > bestLen || (n == bestLen && r.Action == "allow") {
+			best, bestLen = r.Action, n
+		}
+	}
+	return best
+}
+
+// Allows reports whether findings of analyzer in file rel are suppressed.
+func (p *Policy) Allows(analyzer, rel string) bool {
+	return p.match(analyzer, rel) == "allow"
+}
+
+// Denies reports whether analyzer is force-enabled for file rel even
+// outside its default scope.
+func (p *Policy) Denies(analyzer, rel string) bool {
+	return p.match(analyzer, rel) == "deny"
+}

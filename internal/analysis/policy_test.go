@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyLongestPrefixWins(t *testing.T) {
+	p := &Policy{Rules: []Rule{
+		{Analyzer: "errdrop", Path: "internal/bench", Action: "allow"},
+		{Analyzer: "errdrop", Path: "internal/bench/hot", Action: "deny"},
+		{Analyzer: "cryptorand", Path: "internal/chain", Action: "deny"},
+	}}
+
+	if !p.Allows("errdrop", "internal/bench/print.go") {
+		t.Error("allow rule should cover files directly below its path")
+	}
+	if !p.Denies("errdrop", "internal/bench/hot/loop.go") {
+		t.Error("the longer deny prefix should beat the shorter allow")
+	}
+	if p.Allows("errdrop", "internal/benchmark/print.go") {
+		t.Error("prefix matching must respect path component boundaries")
+	}
+	if p.Allows("lockcheck", "internal/bench/print.go") {
+		t.Error("rules must only apply to their named analyzer")
+	}
+	if !p.Denies("cryptorand", "internal/chain/tokenset.go") {
+		t.Error("deny rules should extend scoped analyzers to new paths")
+	}
+	if p.Denies("cryptorand", "internal/chain") != true {
+		t.Error("a rule path matches itself")
+	}
+}
+
+func TestPolicyTieResolvesToAllow(t *testing.T) {
+	p := &Policy{Rules: []Rule{
+		{Analyzer: "*", Path: "internal/sim", Action: "deny"},
+		{Analyzer: "determinism", Path: "internal/sim", Action: "allow"},
+	}}
+	if !p.Allows("determinism", "internal/sim/sim.go") {
+		t.Error("equal-length allow and deny should resolve to allow")
+	}
+	if !p.Denies("errdrop", "internal/sim/sim.go") {
+		t.Error("the wildcard deny should still apply to other analyzers")
+	}
+}
+
+func TestLoadPolicy(t *testing.T) {
+	dir := t.TempDir()
+
+	if p, err := LoadPolicy(filepath.Join(dir, "absent.json")); err != nil || len(p.Rules) != 0 {
+		t.Errorf("missing file should load as the empty policy, got %v, %v", p, err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"rules":[{"analyzer":"errdrop","path":"a/b","action":"allow","reason":"r"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPolicy(good)
+	if err != nil || len(p.Rules) != 1 {
+		t.Fatalf("good policy failed to load: %v, %v", p, err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules":[{"analyzer":"errdrop","path":"a","action":"maybe"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(bad); err == nil {
+		t.Error("invalid action should be rejected at load time")
+	}
+}

@@ -1,0 +1,20 @@
+package goldenfix
+
+import "sync/atomic"
+
+// cleanCounter uses the atomic.Int64 value type, safe by construction.
+type cleanCounter struct {
+	n atomic.Int64
+}
+
+func (c *cleanCounter) inc() int64 { return c.n.Add(1) }
+
+func (c *cleanCounter) read() int64 { return c.n.Load() }
+
+// total is accessed atomically everywhere; the sanctioned &total arguments
+// below must not count as plain accesses.
+var total int64
+
+func addTotal(d int64) { atomic.AddInt64(&total, d) }
+
+func readTotal() int64 { return atomic.LoadInt64(&total) }

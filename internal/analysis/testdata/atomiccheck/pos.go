@@ -1,0 +1,18 @@
+// Package goldenfix is the atomiccheck golden fixture: the counter field is
+// written through sync/atomic in one method and read plainly in another.
+package goldenfix
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// racyRead loses the happens-before edge the atomic writer established.
+func (c *counter) racyRead() int64 {
+	return c.n // want "n is accessed atomically at pos\.go:\d+ but plainly here"
+}

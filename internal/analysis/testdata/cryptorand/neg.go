@@ -1,0 +1,20 @@
+package goldenfix
+
+import (
+	crand "crypto/rand"
+	mrand "math/rand"
+)
+
+// sampleInjected uses an injected generator: method calls on a *rand.Rand
+// handed in by the caller are the sanctioned pattern — tokenmagic.New decides
+// the seed quality at the construction site.
+func sampleInjected(rng *mrand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// cryptoNonce reads from crypto/rand, which is always allowed.
+func cryptoNonce() ([]byte, error) {
+	b := make([]byte, 32)
+	_, err := crand.Read(b)
+	return b, err
+}

@@ -1,0 +1,22 @@
+// Package goldenfix is the cryptorand golden fixture. The tests load it
+// twice: under an in-scope import path (tokenmagic/internal/ringsig/...)
+// where every math/rand call below must be flagged, and under an out-of-scope
+// path where none may be.
+package goldenfix
+
+import (
+	mrand "math/rand"
+)
+
+// leakyNonce draws a signing nonce from math/rand's global source.
+func leakyNonce() int {
+	return mrand.Intn(1 << 16) // want "math/rand\.Intn in an anonymity-critical path"
+}
+
+// leakyGenerator constructs a generator locally; inside the scope even the
+// explicit-seed constructors are findings, because the construction site is
+// where seed quality is decided.
+func leakyGenerator(seed int64) *mrand.Rand {
+	src := mrand.NewSource(seed) // want "math/rand\.NewSource in an anonymity-critical path"
+	return mrand.New(src)        // want "math/rand\.New in an anonymity-critical path"
+}

@@ -1,0 +1,22 @@
+package goldenfix
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// newSeededRand builds a generator from an explicit seed: the allowed
+// construction for reproducible simulations.
+func newSeededRand(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}
+
+// injectedDraw consumes a generator threaded through by the caller.
+func injectedDraw(rng *mrand.Rand) float64 {
+	return rng.Float64()
+}
+
+// fixedInstant derives a time from constants, not the wall clock.
+func fixedInstant() time.Time {
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,24 @@
+// Package goldenfix is the determinism golden fixture, loaded under an
+// in-scope import path (tokenmagic/internal/sim/...).
+package goldenfix
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// stampedStep reads the wall clock inside a deterministic package.
+func stampedStep() time.Time {
+	return time.Now() // want "time\.Now in a deterministic package"
+}
+
+// elapsed measures wall-clock time, which differs run to run.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time\.Since in a deterministic package"
+}
+
+// globalDraw uses math/rand's process-global source, auto-seeded since
+// Go 1.20 and therefore nondeterministic across runs.
+func globalDraw() int {
+	return mrand.Intn(10) // want "math/rand\.Intn draws from the auto-seeded global source"
+}

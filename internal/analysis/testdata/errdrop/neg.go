@@ -1,0 +1,23 @@
+package goldenfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// handled shows every sanctioned shape: checking, explicit discard, the
+// stdout printers, never-failing builders, and go/defer statements.
+func handled() error {
+	if err := flaky(); err != nil {
+		return err
+	}
+	_ = flaky()
+	fmt.Println("report")
+	fmt.Fprintln(os.Stderr, "report")
+	var b strings.Builder
+	b.WriteString("x")
+	go flaky()
+	defer flaky()
+	return nil
+}

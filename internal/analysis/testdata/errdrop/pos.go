@@ -1,0 +1,21 @@
+// Package goldenfix is the errdrop golden fixture. The analyzer has no scope
+// restriction, so the tests load it under its natural testdata import path.
+package goldenfix
+
+import (
+	"fmt"
+	"io"
+)
+
+func flaky() error { return nil }
+
+// dropsPlainCall discards flaky's error by using it as a statement.
+func dropsPlainCall() {
+	flaky() // want "flaky returns an error that is discarded"
+}
+
+// dropsFprintf writes to an arbitrary writer: unlike the stdout/stderr
+// convenience case, the error here is a real short-write signal.
+func dropsFprintf(w io.Writer) {
+	fmt.Fprintf(w, "partial response\n") // want "fmt\.Fprintf returns an error that is discarded"
+}

@@ -1,0 +1,45 @@
+// Package goldenfix is the lockcheck golden fixture, exercising all four
+// checks: missing release, return while held, RWMutex upgrade, and mutexes
+// passed or returned by value.
+package goldenfix
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakyIncrement acquires and never releases.
+func (g *guarded) leakyIncrement() {
+	g.mu.Lock() // want "g\.mu\.Lock\(\) is never released in leakyIncrement"
+	g.n++
+}
+
+// earlyReturn releases on the fall-through path but not on the early one.
+func (g *guarded) earlyReturn(stop bool) int {
+	g.mu.Lock()
+	if stop {
+		return 0 // want "return while g\.mu is held"
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+// upgradeInPlace takes the write lock while still holding the read lock:
+// sync.RWMutex is not upgradeable, so this self-deadlocks.
+func (g *guarded) upgradeInPlace() {
+	g.rw.RLock()
+	g.rw.Lock() // want "RWMutex cannot be upgraded"
+	g.rw.Unlock()
+	g.rw.RUnlock()
+}
+
+// byValue copies the lock into the parameter.
+func byValue(mu sync.Mutex) { _ = mu } // want "sync\.Mutex passed by value copies the lock"
+
+// byValueReturn copies the lock out through the result.
+func byValueReturn() sync.RWMutex { // want "sync\.RWMutex returned by value copies the lock"
+	return sync.RWMutex{}
+}

@@ -1,0 +1,12 @@
+// Package malformedfix exercises the malformed-directive report: a
+// //lint:ignore with no reason is itself a finding and suppresses nothing.
+// TestMalformedIgnoreDirective asserts on this file directly (the directive
+// line cannot also carry a want comment).
+package malformedfix
+
+import mrand "math/rand"
+
+func sample() int {
+	//lint:ignore cryptorand
+	return mrand.Intn(10)
+}

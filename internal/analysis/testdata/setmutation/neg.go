@@ -1,0 +1,19 @@
+package goldenfix
+
+import "sort"
+
+// probeReads follows the contract: reads, range loops, slicing, and
+// mutating a private copy are all allowed.
+//
+//tmlint:readonly xs
+func probeReads(xs set) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	local := make(set, len(xs))
+	copy(local, xs)
+	sort.Ints(local)
+	local[0] = total
+	return local[0] + len(xs[1:])
+}

@@ -1,0 +1,30 @@
+// Package goldenfix is the setmutation golden fixture: probeMutates declares
+// two parameters read-only and violates every clause of the contract.
+package goldenfix
+
+import "sort"
+
+type set []int
+
+// Add is part of the mutator vocabulary the analyzer knows.
+func (s set) Add(v int) { _ = v }
+
+// probeMutates promises xs and ys untouched and then mutates both.
+//
+//tmlint:readonly xs ys
+func probeMutates(xs set, ys map[int]int) int {
+	xs[0] = 1         // want "write to element of read-only parameter xs"
+	xs[1]++           // want "in-place update of element of read-only parameter xs"
+	delete(ys, 3)     // want "delete from read-only parameter ys"
+	_ = append(xs, 9) // want "append to read-only parameter xs"
+	xs.Add(4)         // want "xs\.Add mutates read-only parameter xs"
+	sort.Ints(xs)     // want "sort\.Ints reorders read-only parameter xs"
+	return xs[0]
+}
+
+// badDirective names a parameter that does not exist.
+//
+//tmlint:readonly zs
+func badDirective(xs set) int { // want "which is not a parameter of badDirective"
+	return len(xs)
+}

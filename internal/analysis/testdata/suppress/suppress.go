@@ -1,0 +1,29 @@
+// Package goldenfix is the suppression fixture, loaded under a cryptorand
+// in-scope path: every finding below is suppressed by a //lint:ignore
+// directive except the one whose directive names the wrong analyzer.
+package goldenfix
+
+import mrand "math/rand"
+
+// sampleSuppressedAbove carries the directive on the line above the call.
+func sampleSuppressedAbove() int {
+	//lint:ignore cryptorand fixture: documents why this draw is acceptable
+	return mrand.Intn(10)
+}
+
+// sampleSuppressedTrailing carries the directive on the finding's own line.
+func sampleSuppressedTrailing() int {
+	return mrand.Intn(10) //lint:ignore cryptorand fixture: trailing form
+}
+
+// sampleWildcard is suppressed by the wildcard form.
+func sampleWildcard() int {
+	//lint:ignore * fixture: wildcard suppression
+	return mrand.Intn(10)
+}
+
+// sampleWrongName is NOT suppressed: the directive names another analyzer.
+func sampleWrongName() int {
+	//lint:ignore determinism fixture: the wrong analyzer name must not suppress
+	return mrand.Intn(10) // want "math/rand\.Intn in an anonymity-critical path"
+}

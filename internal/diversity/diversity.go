@@ -273,6 +273,8 @@ func (h *Histogram) Slack(req Requirement) float64 {
 // read-only: it overlays the delta on the count-of-counts walk without
 // touching the underlying map, so it neither clones nor allocates (beyond
 // warm-up of a reusable scratch buffer).
+//
+//tmlint:readonly hts
 func (h *Histogram) SlackIfAdded(req Requirement, hts []chain.TxID) float64 {
 	h.probeTx = h.probeTx[:0]
 	h.probeNew = h.probeNew[:0]
@@ -297,6 +299,8 @@ func (h *Histogram) SlackIfAdded(req Requirement, hts []chain.TxID) float64 {
 // ns[i] tokens of class txs[i] for each i. txs must be distinct and ns
 // positive — exactly the footprint shape internal/selector precomputes per
 // module. Read-only: only map lookups, no mutation, no allocation.
+//
+//tmlint:readonly txs ns
 func (h *Histogram) SlackIfAddedN(req Requirement, txs []chain.TxID, ns []int) float64 {
 	f := len(txs)
 	if cap(h.probeOld) < f {
@@ -395,6 +399,8 @@ func (h *Histogram) DistinctHTsNeeded(req Requirement) int {
 
 // SatisfiesTokens is a convenience wrapper: it builds the histogram of the
 // token set and evaluates the predicate.
+//
+//tmlint:readonly tokens
 func SatisfiesTokens(tokens chain.TokenSet, origin func(chain.TokenID) chain.TxID, req Requirement) bool {
 	return HistogramOf(tokens, origin).Satisfies(req)
 }

@@ -287,6 +287,8 @@ func ClosedFormSets(ringTokens chain.TokenSet, subsetCount int, origin func(chai
 // Histogram.SlackWithout reads off the count-of-counts index without
 // materialising any ψ token set (the former path built one histogram and one
 // TokenSet per class).
+//
+//tmlint:readonly ringTokens
 func AllSatisfyClosedForm(ringTokens chain.TokenSet, subsetCount int, origin func(chain.TokenID) chain.TxID, req diversity.Requirement) bool {
 	h := diversity.HistogramOf(ringTokens, origin)
 	ok := true

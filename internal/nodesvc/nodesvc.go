@@ -135,7 +135,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// The 200 header and part of the body may already be on the wire, so
+		// no error response can be sent; count the failure so operators see
+		// truncated responses instead of silence.
+		obs.Default().Counter("http.nodesvc.encode_errors").Inc()
 	}
 }
 

@@ -198,10 +198,9 @@ func layerPoints(pub, image Point, s, c *big.Int) (Point, Point) {
 // multiChallenge hashes a transcript of points into a scalar.
 func multiChallenge(msg []byte, parts []Point) *big.Int {
 	h := sha256.New()
-	h.Write([]byte("tokenmagic/mlsag/v1"))
-	h.Write(msg)
+	hashWrite(h, []byte("tokenmagic/mlsag/v1"), msg)
 	for _, p := range parts {
-		h.Write(p.Bytes())
+		hashWrite(h, p.Bytes())
 	}
 	d := new(big.Int).SetBytes(h.Sum(nil))
 	return d.Mod(d, Curve.Params().N)

@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/big"
 )
@@ -202,12 +203,20 @@ func ringStep(msg []byte, pub, image Point, s, c *big.Int) *big.Int {
 // challenge hashes the transcript into a scalar mod N.
 func challenge(msg []byte, l, r Point) *big.Int {
 	h := sha256.New()
-	h.Write([]byte("tokenmagic/blsag/v1"))
-	h.Write(msg)
-	h.Write(l.Bytes())
-	h.Write(r.Bytes())
+	hashWrite(h, []byte("tokenmagic/blsag/v1"), msg, l.Bytes(), r.Bytes())
 	d := new(big.Int).SetBytes(h.Sum(nil))
 	return d.Mod(d, Curve.Params().N)
+}
+
+// hashWrite absorbs parts into h. hash.Hash documents that Write never
+// returns an error, so a failure can only mean a broken implementation —
+// in a signature transcript that must be fatal, not silent.
+func hashWrite(h hash.Hash, parts ...[]byte) {
+	for _, p := range parts {
+		if _, err := h.Write(p); err != nil {
+			panic("ringsig: hash write failed: " + err.Error())
+		}
+	}
 }
 
 // hashToPoint maps a public key to a curve point with unknown discrete log

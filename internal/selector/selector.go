@@ -87,6 +87,8 @@ type Super struct {
 // size-sorted candidates and exits as soon as sizes cross |r| — O(r log r)
 // for the sort plus only the size-admissible subset checks, instead of the
 // former all-pairs O(r²).
+//
+//tmlint:readonly rings universe
 func Decompose(rings []chain.RingRecord, universe chain.TokenSet) (supers []Super, fresh chain.TokenSet) {
 	n := len(rings)
 	// Indices sorted by ring size, descending; sizeAsc is the same walk from

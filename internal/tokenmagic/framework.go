@@ -18,6 +18,8 @@
 package tokenmagic
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -241,8 +243,31 @@ var (
 	ErrSpentBatch = errors.New("tokenmagic: no candidate ring available for this token")
 )
 
-// New builds a framework over the ledger. rng drives candidate sampling and
-// must be non-nil when cfg.Randomize is set.
+// cryptoSeed draws a 64-bit seed from crypto/rand. Candidate sampling is
+// anonymity-critical (a predictable pick order lets an adversary invert
+// Algorithm 1), so an unreadable entropy source is fatal, not a warning.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("tokenmagic: crypto/rand unavailable: " + err.Error())
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+// NewSamplingRand returns the framework's default candidate-sampling
+// generator: math/rand sequenced for speed, seeded from crypto/rand so no
+// two processes share a pick order. Pass a fixed-seed *rand.Rand to New
+// instead when a run must replay (sim, tests, benchmarks) — that split is
+// the repo's randomness policy (see DESIGN.md).
+func NewSamplingRand() *rand.Rand {
+	//lint:ignore cryptorand the one sanctioned construction site: the seed comes from crypto/rand
+	return rand.New(rand.NewSource(cryptoSeed()))
+}
+
+// New builds a framework over the ledger. rng drives candidate sampling
+// (cfg.Randomize) and the TM_R baseline; nil selects a crypto-seeded
+// generator (NewSamplingRand) when the configuration needs one, so
+// deterministic sequences only ever come from an explicit caller choice.
 func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 	batches, err := chain.BuildBatches(ledger, cfg.Lambda)
 	if err != nil {
@@ -254,6 +279,9 @@ func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.Default()
+	}
+	if rng == nil && (cfg.Randomize || cfg.Algorithm == RandomPick) {
+		rng = NewSamplingRand()
 	}
 	f := &Framework{
 		cfg:     cfg,

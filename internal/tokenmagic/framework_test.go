@@ -220,13 +220,18 @@ func TestRandomizedCandidateSampling(t *testing.T) {
 	if !res.Tokens.Contains(5) {
 		t.Fatalf("sampled ring %v missing target", res.Tokens)
 	}
-	// Without an rng, sampling must error.
+	// Without an rng, New installs a crypto-seeded default and sampling
+	// still works (the seed is just no longer reproducible).
 	f2, err := New(l, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f2.GenerateRS(5, req); err == nil {
-		t.Fatal("sampling without rng must error")
+	res2, err := f2.GenerateRS(5, req)
+	if err != nil {
+		t.Fatalf("sampling with the default crypto-seeded rng: %v", err)
+	}
+	if !res2.Tokens.Contains(5) {
+		t.Fatalf("sampled ring %v missing target", res2.Tokens)
 	}
 }
 
