@@ -62,6 +62,13 @@ type RingInfo struct {
 // chain grew is safe while serving. Mutating the ledger directly, without
 // going through UpdateLedger, still requires request quiescence.
 type Server struct {
+	// MaxInFlight caps concurrently executing requests and MaxQueue the
+	// waiting room behind them (obs.LimitConcurrency); over-capacity
+	// requests are shed with 503. Zero MaxInFlight disables the gate. Set
+	// both before calling Handler.
+	MaxInFlight int
+	MaxQueue    int
+
 	mu      sync.RWMutex
 	ledger  *chain.Ledger
 	lambda  int
@@ -107,14 +114,17 @@ func (s *Server) UpdateLedger(fn func(*chain.Ledger) error) error {
 }
 
 // Handler returns the HTTP handler implementing the protocol, wrapped with
-// per-route telemetry in the process-wide obs registry ("http.batchsvc.*").
+// per-route telemetry in the process-wide obs registry ("http.batchsvc.*")
+// and, when MaxInFlight is set, the concurrency gate
+// (in_flight/queue_depth gauges, rejected_busy counter).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/meta", s.handleMeta)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/rings", s.handleRings)
-	return obs.InstrumentHTTP(obs.Default(), "batchsvc", mux,
+	h := obs.InstrumentHTTP(obs.Default(), "batchsvc", mux,
 		"/v1/meta", "/v1/batch", "/v1/rings")
+	return obs.LimitConcurrency(obs.Default(), "batchsvc", s.MaxInFlight, s.MaxQueue, h)
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {

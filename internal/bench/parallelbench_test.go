@@ -1,0 +1,30 @@
+package bench
+
+// `go test -bench` entries for the parallel-executor sweep, mirroring the
+// arms ParallelBenchmarks feeds into BENCH_parallel.json.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkGenerateRSParallel(b *testing.B) {
+	for _, lambda := range parallelBenchLambdas {
+		for _, workers := range parallelBenchWorkers {
+			b.Run(fmt.Sprintf("lambda=%d/workers=%d", lambda, workers), func(b *testing.B) {
+				BenchGenerateRSParallel(b, lambda, workers)
+			})
+		}
+	}
+}
+
+// The benchmark arms must rest on a proven contract: identical rings per
+// seed at every worker count on the benchmark workload itself.
+func TestParallelBenchEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RealMonero workload in -short mode")
+	}
+	if err := checkParallelEquivalence(200); err != nil {
+		t.Fatal(err)
+	}
+}

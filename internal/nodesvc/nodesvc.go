@@ -60,6 +60,13 @@ type Status struct {
 
 // Server wraps a node with HTTP handlers.
 type Server struct {
+	// MaxInFlight caps concurrently executing requests and MaxQueue the
+	// waiting room behind them (obs.LimitConcurrency); over-capacity
+	// requests are shed with 503. Zero MaxInFlight disables the gate. Set
+	// both before calling Handler.
+	MaxInFlight int
+	MaxQueue    int
+
 	node *node.Node
 }
 
@@ -67,14 +74,16 @@ type Server struct {
 func NewServer(n *node.Node) *Server { return &Server{node: n} }
 
 // Handler returns the HTTP handler, wrapped with per-route telemetry in the
-// process-wide obs registry ("http.nodesvc.*").
+// process-wide obs registry ("http.nodesvc.*") and, when MaxInFlight is set,
+// the concurrency gate (in_flight/queue_depth gauges, rejected_busy counter).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/mine", s.handleMine)
 	mux.HandleFunc("/v1/status", s.handleStatus)
-	return obs.InstrumentHTTP(obs.Default(), "nodesvc", mux,
+	h := obs.InstrumentHTTP(obs.Default(), "nodesvc", mux,
 		"/v1/submit", "/v1/mine", "/v1/status")
+	return obs.LimitConcurrency(obs.Default(), "nodesvc", s.MaxInFlight, s.MaxQueue, h)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

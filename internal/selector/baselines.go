@@ -1,14 +1,26 @@
 package selector
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // Smallest is the paper's TM_S baseline: repeatedly add the module with the
 // smallest token count until the union's HT multiset satisfies the
 // requirement.
-func Smallest(p *Problem) (res Result, err error) {
+func Smallest(p *Problem) (Result, error) {
+	return SmallestCtx(context.Background(), p)
+}
+
+// SmallestCtx is Smallest with cooperative cancellation, polled once per
+// greedy step.
+func SmallestCtx(ctx context.Context, p *Problem) (res Result, err error) {
 	defer solveObs("TM_S")(&res, &err)
 	st := newState(p)
 	for !st.hist.Satisfies(p.Req) {
+		if cancelled(ctx) {
+			return Result{}, ctxErr(ctx)
+		}
 		st.iters++
 		best := -1
 		for i, m := range p.Candidates {
@@ -30,7 +42,14 @@ func Smallest(p *Problem) (res Result, err error) {
 // Random is the paper's TM_R baseline: repeatedly add a uniformly random
 // unselected module until the union's HT multiset satisfies the requirement.
 // rng must be non-nil so experiments stay reproducible.
-func Random(p *Problem, rng *rand.Rand) (res Result, err error) {
+func Random(p *Problem, rng *rand.Rand) (Result, error) {
+	return RandomCtx(context.Background(), p, rng)
+}
+
+// RandomCtx is Random with cooperative cancellation, polled once per greedy
+// step. The rng is consumed in a deterministic order regardless of
+// cancellation timing: a cancelled solve simply stops drawing.
+func RandomCtx(ctx context.Context, p *Problem, rng *rand.Rand) (res Result, err error) {
 	defer solveObs("TM_R")(&res, &err)
 	st := newState(p)
 	var unselected []int
@@ -38,6 +57,9 @@ func Random(p *Problem, rng *rand.Rand) (res Result, err error) {
 		unselected = append(unselected, i)
 	}
 	for !st.hist.Satisfies(p.Req) {
+		if cancelled(ctx) {
+			return Result{}, ctxErr(ctx)
+		}
 		st.iters++
 		if len(unselected) == 0 {
 			return Result{}, ErrNoEligible

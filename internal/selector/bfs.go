@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,10 +29,23 @@ type ExactProblem struct {
 // ErrExactTooLarge wraps rsgraph.ErrWorkCapExceeded with solver context.
 var ErrExactTooLarge = errors.New("selector: exact search exceeded its work cap")
 
+// bfsCancelStride is how many enumerated candidate sets pass between
+// cancellation polls inside one frontier; the boundary between frontiers
+// (ring sizes) is always checked.
+const bfsCancelStride = 4096
+
 // BFS finds a minimum-cardinality ring for the target satisfying all three
 // DA-MS constraints, by trying candidate mixin sets in ascending size order
 // (Algorithm 2). Exponential: use only on Figure-4-scale instances.
-func BFS(p *ExactProblem) (res Result, err error) {
+func BFS(p *ExactProblem) (Result, error) {
+	return BFSCtx(context.Background(), p)
+}
+
+// BFSCtx is BFS with cooperative cancellation: the search checks ctx at
+// every frontier boundary (each candidate ring size k) and every
+// bfsCancelStride enumerated subsets within a frontier, so even the
+// exponential inner loop abandons promptly.
+func BFSCtx(ctx context.Context, p *ExactProblem) (res Result, err error) {
 	defer solveObs("TM_B")(&res, &err)
 	if err := p.Req.Validate(); err != nil {
 		return Result{}, err
@@ -60,9 +74,15 @@ func BFS(p *ExactProblem) (res Result, err error) {
 		start = 1 // a ring of size 1 can never hide its token
 	}
 	for k := start; k <= len(sigma); k++ {
+		if cancelled(ctx) {
+			return Result{}, ctxErr(ctx) // frontier boundary
+		}
 		var found chain.TokenSet
 		err := forEachIndexSubset(len(sigma), k, func(idx []int) (bool, error) {
 			iters++
+			if iters%bfsCancelStride == 0 && cancelled(ctx) {
+				return false, ctxErr(ctx)
+			}
 			// Diversity pre-check (Algorithm 2 lines 6–8) on the index.
 			h.Reset()
 			h.Add(targetHT)

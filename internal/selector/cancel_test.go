@@ -1,0 +1,81 @@
+package selector
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+)
+
+// Every solver must notice a dead context at its next loop boundary and
+// surface context.Canceled instead of a result; this is what lets the
+// parallel executor abandon in-flight sibling solves.
+func TestSolversHonourCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: solvers must bail at the first poll
+	req := diversity.Requirement{C: 1, L: 4}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"progressive", func() error {
+			_, err := ProgressiveCtx(ctx, example3Problem(t, req))
+			return err
+		}},
+		{"game", func() error {
+			_, err := GameCtx(ctx, example3Problem(t, req))
+			return err
+		}},
+		{"smallest", func() error {
+			_, err := SmallestCtx(ctx, example3Problem(t, req))
+			return err
+		}},
+		{"random", func() error {
+			_, err := RandomCtx(ctx, example3Problem(t, req), rand.New(rand.NewSource(3)))
+			return err
+		}},
+		{"bfs", func() error {
+			origin := originOf(map[chain.TokenID]chain.TxID{1: 1, 2: 2, 3: 3, 4: 4})
+			_, err := BFSCtx(ctx, &ExactProblem{
+				Target:   1,
+				Universe: chain.NewTokenSet(1, 2, 3, 4),
+				Origin:   origin,
+				Req:      diversity.Requirement{C: 1, L: 2},
+			})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("cancelled solve returned a result")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled in chain, got %v", err)
+			}
+		})
+	}
+}
+
+// A live context must leave results untouched: the Ctx variants with
+// context.Background() are the plain entry points, so one solver solving the
+// paper example both ways guards the wrappers.
+func TestCtxWrappersMatchPlainEntryPoints(t *testing.T) {
+	req := diversity.Requirement{C: 1, L: 4}
+	plain, err := Progressive(example3Problem(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := ProgressiveCtx(context.Background(), example3Problem(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Tokens.Equal(viaCtx.Tokens) {
+		t.Fatalf("wrapper drift: %v vs %v", plain.Tokens, viaCtx.Tokens)
+	}
+}

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"math"
 	"sort"
 )
@@ -23,11 +24,17 @@ func sortBySizeAsc(order []int, mods []Module) {
 //
 // The returned Result's Iterations counts best-response sweeps after the
 // shared HT-cover phase.
-func Game(p *Problem) (res Result, err error) {
+func Game(p *Problem) (Result, error) {
+	return GameCtx(context.Background(), p)
+}
+
+// GameCtx is Game with cooperative cancellation, polled once per
+// best-response sweep (each sweep visits every player).
+func GameCtx(ctx context.Context, p *Problem) (res Result, err error) {
 	defer solveObs("TM_G")(&res, &err)
 	st := newState(p)
 	if !st.hist.Satisfies(p.Req) {
-		if err := st.coverHTPhase(); err != nil {
+		if err := st.coverHTPhase(ctx); err != nil {
 			return Result{}, err
 		}
 	}
@@ -65,6 +72,9 @@ func Game(p *Problem) (res Result, err error) {
 	sortBySizeAsc(order, p.Candidates)
 	maxSweeps := 4*nPlayers + 16
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if cancelled(ctx) {
+			return Result{}, ctxErr(ctx)
+		}
 		st.iters++
 		changed := false
 		for _, i := range order {

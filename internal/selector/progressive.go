@@ -1,6 +1,9 @@
 package selector
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Progressive solves the modular DA-MS instance with the two-phase greedy of
 // Algorithm 4. Phase one covers ℓ distinct historical transactions by
@@ -8,16 +11,26 @@ import "math"
 // diversity slack δ = q₁ − c·(q_ℓ+…+q_θ) below zero by maximising the
 // improvement-per-token ratio β_i = (δ − δ_i)/|x_i|. Approximation ratio:
 // Theorem 6.5.
-func Progressive(p *Problem) (res Result, err error) {
+func Progressive(p *Problem) (Result, error) {
+	return ProgressiveCtx(context.Background(), p)
+}
+
+// ProgressiveCtx is Progressive with cooperative cancellation: the greedy
+// loops poll ctx at every step, so a caller that already has a satisfying
+// candidate (the parallel executor) can abandon in-flight solves cheaply.
+func ProgressiveCtx(ctx context.Context, p *Problem) (res Result, err error) {
 	defer solveObs("TM_P")(&res, &err)
 	st := newState(p)
 	if st.hist.Satisfies(p.Req) {
 		return st.result(), nil
 	}
-	if err := st.coverHTPhase(); err != nil {
+	if err := st.coverHTPhase(ctx); err != nil {
 		return Result{}, err
 	}
 	for !st.hist.Satisfies(p.Req) {
+		if cancelled(ctx) {
+			return Result{}, ctxErr(ctx)
+		}
 		st.iters++
 		delta := st.hist.Slack(p.Req)
 		best := -1

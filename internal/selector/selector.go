@@ -23,6 +23,7 @@
 package selector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,6 +32,23 @@ import (
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
 )
+
+// cancelled is the cooperative cancellation probe the solver loops poll at
+// iteration boundaries. It never blocks.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// ctxErr wraps a context failure so callers can both errors.Is it against
+// context.Canceled/DeadlineExceeded and tell it apart from ErrNoEligible.
+func ctxErr(ctx context.Context) error {
+	return fmt.Errorf("selector: solve cancelled: %w", ctx.Err())
+}
 
 // Module is a selectable unit under the first practical configuration:
 // either one super ring signature or one fresh token.
@@ -325,9 +343,12 @@ func (st *state) slackWith(i int) float64 {
 // coverHTPhase runs the shared first phase of Progressive and Game
 // (Algorithm 4 lines 2–4 / Algorithm 5 lines 2–4): greedily add the module
 // with minimal α_i = |x_i| / min(ℓ−|H|, |H_i \ H|) until the selection spans
-// at least ℓ distinct HTs.
-func (st *state) coverHTPhase() error {
+// at least ℓ distinct HTs. Cancellation is checked once per greedy step.
+func (st *state) coverHTPhase(ctx context.Context) error {
 	for st.hist.Classes() < st.p.Req.L {
+		if cancelled(ctx) {
+			return ctxErr(ctx)
+		}
 		st.iters++
 		need := st.p.Req.L - st.hist.Classes()
 		best := -1

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	itm "tokenmagic/internal/tokenmagic"
+	"tokenmagic/internal/workload"
+)
+
+func replayFixture(t *testing.T, parallelism int) (*itm.Framework, []Request) {
+	t.Helper()
+	d, err := workload.Synthetic(workload.SyntheticParams{
+		NumSupers: 0, SuperSizeMin: 1, SuperSizeMax: 1,
+		NumFresh: 30, Sigma: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := itm.New(d.Ledger, itm.Config{
+		Lambda:      d.Ledger.NumTokens(),
+		Headroom:    true,
+		Algorithm:   itm.Progressive,
+		Randomize:   true,
+		Parallelism: parallelism,
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := diversity.Requirement{C: 1, L: 3}
+	var reqs []Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, Request{Target: chain.TokenID(i * 3), Req: req})
+	}
+	return f, reqs
+}
+
+// Replay must be a pure function of (framework state, requests, seed): the
+// outcome list is identical at every worker count, position-aligned with
+// the requests.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	const seed = 17
+	f1, reqs := replayFixture(t, 1)
+	base := Replay(context.Background(), f1, reqs, seed, 1)
+	if len(base) != len(reqs) {
+		t.Fatalf("got %d outcomes for %d requests", len(base), len(reqs))
+	}
+	succeeded := 0
+	for i, o := range base {
+		if o.Target != reqs[i].Target {
+			t.Fatalf("outcome %d misaligned: target %v for request %v", i, o.Target, reqs[i].Target)
+		}
+		if o.Err == nil {
+			succeeded++
+			if !o.Tokens.Contains(o.Target) {
+				t.Fatalf("outcome %d: ring %v misses target %v", i, o.Tokens, o.Target)
+			}
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("vacuous: no replayed request produced a ring")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		fw, _ := replayFixture(t, 2) // inner executor parallel too
+		got := Replay(context.Background(), fw, reqs, seed, workers)
+		for i := range base {
+			if (base[i].Err == nil) != (got[i].Err == nil) {
+				t.Fatalf("w=%d outcome %d error divergence: %v vs %v", workers, i, base[i].Err, got[i].Err)
+			}
+			if base[i].Err == nil && !base[i].Tokens.Equal(got[i].Tokens) {
+				t.Fatalf("w=%d outcome %d ring divergence: %v vs %v", workers, i, base[i].Tokens, got[i].Tokens)
+			}
+		}
+	}
+}
+
+// A dead context surfaces per-outcome errors instead of hanging or
+// panicking.
+func TestReplayCancelled(t *testing.T) {
+	f, reqs := replayFixture(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, o := range Replay(ctx, f, reqs, 5, 4) {
+		if o.Err == nil {
+			t.Fatalf("outcome %d succeeded under a cancelled context", i)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type Config struct {
 	SnapshotEvery int
 	// Eta configures the liveness guard of the shared framework.
 	Eta float64
+	// Parallelism is handed to each framework's candidate-sampling executor
+	// (0 = one worker per CPU, 1 = sequential). The simulated outcome is
+	// identical at every setting — per-request seeds make the executor
+	// replayable — only wall-clock changes.
+	Parallelism int
 	// Seed fixes all randomness.
 	Seed int64
 }
@@ -130,10 +135,11 @@ func Run(cfg Config) (*Result, error) {
 			return f, nil
 		}
 		f, err := itm.New(d.Ledger, itm.Config{
-			Lambda:    d.Ledger.NumTokens(),
-			Eta:       cfg.Eta,
-			Headroom:  true,
-			Algorithm: a,
+			Lambda:      d.Ledger.NumTokens(),
+			Eta:         cfg.Eta,
+			Headroom:    true,
+			Algorithm:   a,
+			Parallelism: cfg.Parallelism,
 		}, rng)
 		if err != nil {
 			return nil, err

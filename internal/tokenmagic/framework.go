@@ -18,12 +18,12 @@
 package tokenmagic
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +81,19 @@ type Config struct {
 	// false, GenerateRS runs exactly one solve for the consuming token —
 	// what the paper's timing figures measure.
 	Randomize bool
+	// Parallelism bounds the candidate-sampling worker pool: 0 uses one
+	// worker per available CPU (GOMAXPROCS), 1 forces the sequential
+	// executor, n > 1 caps the pool at n goroutines. The output is
+	// byte-identical per seed at every setting (see executor.go).
+	Parallelism int
+	// StopAfter, when positive, stops candidate sampling once the first
+	// StopAfter satisfying candidates — in batch-token order — are decided,
+	// cancelling in-flight sibling solves. The pick then ranges over that
+	// deterministic prefix, so results still replay per seed, but the
+	// anonymity set of the pick shrinks from "every satisfying candidate"
+	// to "the first StopAfter": a latency/anonymity trade-off. 0 (the
+	// default) runs full Algorithm 1.
+	StopAfter int
 	// Metrics receives the framework's runtime telemetry; nil reports to
 	// the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -94,13 +107,29 @@ func DefaultConfig() Config {
 
 // Framework wires a ledger, its batch list and the per-batch liveness
 // bookkeeping together.
+//
+// Concurrency: a Framework is safe for concurrent use. Reads (GenerateRS,
+// VerifyRS, Stats) proceed in parallel under mu's read side; writes (Commit,
+// RefreshBatches, UpdateLedger) are exclusive. The candidate-sampling worker
+// pool runs entirely within the caller's read hold, so workers never observe
+// a half-applied ledger mutation.
 type Framework struct {
+	// mu orders ledger/batch/guard mutation (Commit, RefreshBatches,
+	// UpdateLedger — write side) against the solve and verify paths (read
+	// side). The guards map is fully populated whenever mu is released, so
+	// readers never mutate it.
+	mu      sync.RWMutex
 	cfg     Config
 	ledger  *chain.Ledger
 	batches *chain.BatchList
 	origin  func(chain.TokenID) chain.TxID
 	guards  map[int]*adversary.NeighborSets // batch index → guard state
-	rng     *rand.Rand
+
+	// rng only ever serves one purpose now: drawing the per-request seed
+	// that DeriveSeed splits into candidate streams. rngMu serialises those
+	// draws; no solver touches rng directly.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// decomp caches the module decomposition per batch; it is recomputed
 	// whenever the ledger's ring count moves (every Commit invalidates).
@@ -205,17 +234,33 @@ func (s Stats) Add(o Stats) Stats {
 
 // Stats reads the framework's per-instance counters. Safe to call
 // concurrently with spends.
+//
+// Each counter is loaded exactly once, sub-counters before the totals they
+// roll up into. The write side bumps the total first (solve increments
+// Solves, then SolveFailures on error), so loading SolveFailures before
+// Solves keeps the snapshot's SolveFailures ≤ Solves invariant even when
+// spends land mid-read; loading fields directly into the struct literal
+// used to tear that invariant.
 func (f *Framework) Stats() Stats {
+	solveFailures := f.stats.solveFailures.Load()
+	solves := f.stats.solves.Load()
+	cacheHits := f.stats.cacheHits.Load()
+	cacheMisses := f.stats.cacheMisses.Load()
+	rejLiveness := f.stats.rejLiveness.Load()
+	rejConfig := f.stats.rejConfig.Load()
+	rejDiversity := f.stats.rejDiversity.Load()
+	rejOther := f.stats.rejOther.Load()
+	admits := f.stats.admits.Load()
 	return Stats{
-		Solves:          f.stats.solves.Load(),
-		SolveFailures:   f.stats.solveFailures.Load(),
-		CacheHits:       f.stats.cacheHits.Load(),
-		CacheMisses:     f.stats.cacheMisses.Load(),
-		VerifyAdmits:    f.stats.admits.Load(),
-		RejectLiveness:  f.stats.rejLiveness.Load(),
-		RejectConfig:    f.stats.rejConfig.Load(),
-		RejectDiversity: f.stats.rejDiversity.Load(),
-		RejectOther:     f.stats.rejOther.Load(),
+		Solves:          solves,
+		SolveFailures:   solveFailures,
+		CacheHits:       cacheHits,
+		CacheMisses:     cacheMisses,
+		VerifyAdmits:    admits,
+		RejectLiveness:  rejLiveness,
+		RejectConfig:    rejConfig,
+		RejectDiversity: rejDiversity,
+		RejectOther:     rejOther,
 	}
 }
 
@@ -288,30 +333,87 @@ func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 		ledger:  ledger,
 		batches: batches,
 		origin:  ledger.OriginFunc(),
-		guards:  make(map[int]*adversary.NeighborSets),
 		rng:     rng,
 		metrics: newFWMetrics(reg, cfg.Algorithm),
 	}
-	// Replay existing rings into their batch guards.
-	for _, r := range ledger.Rings() {
-		if b, err := batches.BatchOf(r.Tokens[0]); err == nil {
-			f.guard(b.Index).Append(r)
-		}
-	}
+	f.initGuardsLocked()
 	return f, nil
 }
 
-func (f *Framework) guard(batch int) *adversary.NeighborSets {
-	g, ok := f.guards[batch]
-	if !ok {
-		g = adversary.NewNeighborSets()
-		f.guards[batch] = g
+// initGuardsLocked (re)builds the per-batch guard map — one entry for every
+// batch up front, then a replay of the ledger's rings — so the verify path
+// only ever reads the map and stays safe under mu's read side. Callers hold
+// mu exclusively (or own the Framework, as New does).
+func (f *Framework) initGuardsLocked() {
+	guards := make(map[int]*adversary.NeighborSets, f.batches.Len())
+	for i := 0; i < f.batches.Len(); i++ {
+		guards[i] = adversary.NewNeighborSets()
 	}
-	return g
+	for _, r := range f.ledger.Rings() {
+		if b, err := f.batches.BatchOf(r.Tokens[0]); err == nil {
+			guards[b.Index].Append(r)
+		}
+	}
+	f.guards = guards
 }
 
-// Batches exposes the batch list (read-only use).
-func (f *Framework) Batches() *chain.BatchList { return f.batches }
+// guard returns the batch's liveness guard. The map is pre-populated for
+// every batch index by initGuardsLocked; the nil fallback only covers an
+// index the batch list does not know (defensive — BatchOf would have failed
+// first) and deliberately does not write the map, so readers stay readers.
+func (f *Framework) guard(batch int) *adversary.NeighborSets {
+	if g := f.guards[batch]; g != nil {
+		return g
+	}
+	return adversary.NewNeighborSets()
+}
+
+// RefreshBatches rebuilds the batch partition and guard state from the
+// current ledger, picking up tokens appended since the framework was built
+// (mirrors batchsvc.Server.RefreshBatches). On error the framework is left
+// unchanged.
+func (f *Framework) RefreshBatches() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.refreshLocked()
+}
+
+func (f *Framework) refreshLocked() error {
+	batches, err := chain.BuildBatches(f.ledger, f.cfg.Lambda)
+	if err != nil {
+		return err
+	}
+	f.batches = batches
+	f.origin = f.ledger.OriginFunc()
+	f.initGuardsLocked()
+	// Batch boundaries may have moved; the ring-count keyed decomposition
+	// cache cannot tell, so drop it wholesale.
+	f.decompMu.Lock()
+	f.decomp = nil
+	f.decompMu.Unlock()
+	return nil
+}
+
+// UpdateLedger runs fn with exclusive access to the ledger (e.g. AppendToken
+// growth) and then refreshes the batch partition, so concurrent spends never
+// observe the mutation half-applied. If fn errors the refresh is skipped and
+// the error returned; fn must leave the ledger consistent on error.
+func (f *Framework) UpdateLedger(fn func(*chain.Ledger) error) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := fn(f.ledger); err != nil {
+		return err
+	}
+	return f.refreshLocked()
+}
+
+// Batches exposes the batch list (read-only use). The returned list is an
+// immutable snapshot; RefreshBatches swaps in a new one rather than mutating.
+func (f *Framework) Batches() *chain.BatchList {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.batches
+}
 
 // effectiveReq applies the headroom configuration.
 func (f *Framework) effectiveReq(req diversity.Requirement) diversity.Requirement {
@@ -383,10 +485,13 @@ func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
 
 // solve dispatches to the configured solver, recording per-algorithm count
 // and latency (candidate sampling makes this the hot path: one call per
-// batch token per spend).
-func (f *Framework) solve(p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+// batch token per spend). Counter order matters to Stats: the total is
+// bumped before the failure sub-counter so snapshots never see
+// SolveFailures > Solves. rng is the solve's private derived stream; only
+// TM_R consumes it.
+func (f *Framework) solve(ctx context.Context, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
 	start := time.Now()
-	res, err := f.dispatch(p, universe, target, req)
+	res, err := f.dispatch(ctx, p, universe, target, req, rng)
 	f.metrics.solveCount.Inc()
 	f.metrics.solveLatency.ObserveSince(start)
 	f.stats.solves.Add(1)
@@ -396,21 +501,21 @@ func (f *Framework) solve(p *selector.Problem, universe chain.TokenSet, target c
 	return res, err
 }
 
-func (f *Framework) dispatch(p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+func (f *Framework) dispatch(ctx context.Context, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
 	switch f.cfg.Algorithm {
 	case Progressive:
-		return selector.Progressive(p)
+		return selector.ProgressiveCtx(ctx, p)
 	case Game:
-		return selector.Game(p)
+		return selector.GameCtx(ctx, p)
 	case Smallest:
-		return selector.Smallest(p)
+		return selector.SmallestCtx(ctx, p)
 	case RandomPick:
-		if f.rng == nil {
+		if rng == nil {
 			return selector.Result{}, errors.New("tokenmagic: TM_R requires an rng")
 		}
-		return selector.Random(p, f.rng)
+		return selector.RandomCtx(ctx, p, rng)
 	case BFS:
-		return selector.BFS(&selector.ExactProblem{
+		return selector.BFSCtx(ctx, &selector.ExactProblem{
 			Target:   target,
 			Universe: universe,
 			Rings:    f.ledger.RingsOver(universe),
@@ -422,20 +527,63 @@ func (f *Framework) dispatch(p *selector.Problem, universe chain.TokenSet, targe
 	}
 }
 
+// drawSeed pulls the next request seed off the framework's sampling rng.
+// This is the rng's only consumer: one draw per GenerateRS, serialised by
+// rngMu, so the seed sequence is a pure function of the rng's own seed no
+// matter how many goroutines spend concurrently.
+func (f *Framework) drawSeed() int64 {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.rng.Int63()
+}
+
 // GenerateRS produces an eligible ring for consuming target under req
 // (Algorithm 1). With cfg.Randomize set, it generates a candidate per batch
 // token and picks uniformly among those containing target; otherwise it runs
 // a single solve.
 func (f *Framework) GenerateRS(target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
-	res, err := f.generateRS(target, req)
+	return f.GenerateRSContext(context.Background(), target, req)
+}
+
+// GenerateRSContext is GenerateRS with cooperative cancellation: when ctx
+// dies, in-flight candidate solves are abandoned and the context's error is
+// returned. Safe for concurrent use.
+func (f *Framework) GenerateRSContext(ctx context.Context, target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+	needRand := f.cfg.Randomize || f.cfg.Algorithm == RandomPick
+	if needRand && f.rng == nil {
+		return selector.Result{}, errors.New("tokenmagic: candidate sampling requires an rng")
+	}
+	var seed int64
+	if f.rng != nil {
+		seed = f.drawSeed()
+	}
+	return f.GenerateRSSeeded(ctx, target, req, seed)
+}
+
+// GenerateRSSeeded is the replayable core of GenerateRS: the whole request —
+// every candidate solve's rng stream and the final uniform pick — is derived
+// from seed via DeriveSeed, so the same (ledger, config, seed) triple yields
+// the same ring at any Parallelism setting. GenerateRSContext draws seeds
+// from the framework rng; simulation replay (internal/sim) and the
+// equivalence test suites supply their own.
+func (f *Framework) GenerateRSSeeded(ctx context.Context, target chain.TokenID, req diversity.Requirement, seed int64) (selector.Result, error) {
+	f.mu.RLock()
+	res, err := f.generateRSSeeded(ctx, target, req, seed)
+	f.mu.RUnlock()
 	if err == nil {
 		f.metrics.ringSize.Observe(int64(res.Size()))
 	}
 	return res, err
 }
 
-func (f *Framework) generateRS(target chain.TokenID, req diversity.Requirement) (selector.Result, error) {
+// generateRSSeeded runs under mu's read side; the sampling worker pool is
+// joined before it returns, so every solver access to the ledger happens
+// within this read hold.
+func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, req diversity.Requirement, seed int64) (selector.Result, error) {
 	if err := req.Validate(); err != nil {
+		return selector.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return selector.Result{}, err
 	}
 	if !f.cfg.Randomize {
@@ -443,82 +591,36 @@ func (f *Framework) generateRS(target chain.TokenID, req diversity.Requirement) 
 		if err != nil {
 			return selector.Result{}, err
 		}
-		return f.solve(p, universe, target, req)
-	}
-	if f.rng == nil {
-		return selector.Result{}, errors.New("tokenmagic: candidate sampling requires an rng")
+		var rng *rand.Rand
+		if f.cfg.Algorithm == RandomPick {
+			rng = streamRand(seed, soloStream)
+		}
+		return f.solve(ctx, p, universe, target, req, rng)
 	}
 	universe, err := f.batches.Universe(target)
 	if err != nil {
 		return selector.Result{}, err
 	}
-	candidates := f.sampleCandidates(universe, target, req)
+	candidates, err := f.sampleCandidates(ctx, universe, target, req, seed)
+	if err != nil {
+		return selector.Result{}, err
+	}
 	if len(candidates) == 0 {
 		return selector.Result{}, ErrSpentBatch
 	}
-	return candidates[f.rng.Intn(len(candidates))], nil
-}
-
-// sampleCandidates runs Algorithm 1 lines 2–6: one solve per batch token,
-// keeping the candidates containing the consuming token. Solves for
-// different tokens are independent, so they fan out over a bounded worker
-// pool; results are gathered in token order so the subsequent random pick
-// stays deterministic per seed. TM_R is excluded from parallel sampling
-// because its solver consumes the shared rng.
-func (f *Framework) sampleCandidates(universe chain.TokenSet, target chain.TokenID, req diversity.Requirement) []selector.Result {
-	parallel := f.cfg.Algorithm != RandomPick
-	results := make([]*selector.Result, len(universe))
-	work := func(i int) {
-		t := universe[i]
-		p, u, err := f.problemFor(t, req)
-		if err != nil {
-			return
-		}
-		res, err := f.solve(p, u, t, req)
-		if err != nil || !res.Tokens.Contains(target) {
-			return
-		}
-		results[i] = &res
-	}
-	if !parallel {
-		for i := range universe {
-			work(i)
-		}
-	} else {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(universe) {
-			workers = len(universe)
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					work(i)
-				}
-			}()
-		}
-		for i := range universe {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	var out []selector.Result
-	for _, r := range results {
-		if r != nil {
-			out = append(out, *r)
-		}
-	}
-	return out
+	// Algorithm 1 line 7: uniform pick, on its own derived stream so the
+	// pick is independent of how many candidates each solver drew.
+	return candidates[streamRand(seed, pickStream).Intn(len(candidates))], nil
 }
 
 // Commit validates a generated ring and appends it to the ledger, updating
-// the batch's liveness state. It returns the new RSID.
+// the batch's liveness state. It returns the new RSID. Verification and
+// append happen under one exclusive hold, so two racing Commits cannot both
+// verify against the old ledger and then both land (check-then-act).
 func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (chain.RSID, error) {
-	if err := f.VerifyRS(tokens, req); err != nil {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.verifyAndCount(tokens, req); err != nil {
 		return -1, err
 	}
 	id, err := f.ledger.AppendRS(tokens, req.C, req.L)
@@ -527,7 +629,13 @@ func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (ch
 	}
 	rec, _ := f.ledger.RS(id)
 	if b, err := f.batches.BatchOf(tokens[0]); err == nil {
-		f.guard(b.Index).Append(rec)
+		if g := f.guards[b.Index]; g != nil {
+			g.Append(rec)
+		} else {
+			g = adversary.NewNeighborSets()
+			g.Append(rec)
+			f.guards[b.Index] = g // exclusive hold: safe to fill the gap
+		}
 	}
 	return id, nil
 }
@@ -535,8 +643,17 @@ func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (ch
 // VerifyRS performs the Step-3 miner checks on a proposed ring: the
 // practical configuration (superset-or-disjoint with every existing ring,
 // all tokens in one batch), the declared diversity with headroom, the
-// closed-form DTRS diversity, and the η liveness guard.
+// closed-form DTRS diversity, and the η liveness guard. Safe for concurrent
+// use; it shares mu's read side with GenerateRS.
 func (f *Framework) VerifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.verifyAndCount(tokens, req)
+}
+
+// verifyAndCount classifies verifyRS's outcome into the admit/reject
+// counters. Callers hold mu (either side).
+func (f *Framework) verifyAndCount(tokens chain.TokenSet, req diversity.Requirement) error {
 	err := f.verifyRS(tokens, req)
 	switch {
 	case err == nil:

@@ -1,0 +1,74 @@
+package tokenmagic
+
+// Native fuzzing over the parallel executor's equivalence contract: for any
+// (seed, ledger shape, requirement, worker count, StopAfter budget) the
+// parallel executor must return exactly the sequential executor's result.
+// The corpus seeds cover each algorithm; the mutator then explores instance
+// space. CI runs this as a -fuzztime smoke on every push.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+)
+
+func FuzzParallelEquivalence(f *testing.F) {
+	// seed, nTx, outs, cTenths, l, workers, stopAfter, algo, targetSel
+	f.Add(int64(1), uint8(6), uint8(2), uint8(10), uint8(3), uint8(4), uint8(0), uint8(0), uint8(3))
+	f.Add(int64(-7), uint8(9), uint8(1), uint8(5), uint8(2), uint8(8), uint8(1), uint8(1), uint8(0))
+	f.Add(int64(42), uint8(4), uint8(3), uint8(20), uint8(2), uint8(2), uint8(2), uint8(2), uint8(7))
+	f.Add(int64(1<<40), uint8(12), uint8(2), uint8(15), uint8(3), uint8(6), uint8(0), uint8(3), uint8(11))
+
+	f.Fuzz(func(t *testing.T, seed int64, nTx, outs, cTenths, lreq, workers, stopAfter, algo, targetSel uint8) {
+		// Normalise the raw bytes into a small, always-valid instance so
+		// every execution exercises the executor rather than input
+		// validation.
+		ledger := chain.NewLedger()
+		blk := ledger.BeginBlock()
+		txs := 3 + int(nTx%8)
+		for i := 0; i < txs; i++ {
+			if _, err := ledger.AddTx(blk, 1+int(outs%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		req := diversity.Requirement{
+			C: 0.5 + float64(cTenths%21)/10, // 0.5 … 2.5
+			L: 2 + int(lreq%3),              // 2 … 4
+		}
+		algorithm := []Algorithm{Progressive, Game, Smallest, RandomPick}[algo%4]
+		target := chain.TokenID(int(targetSel) % ledger.NumTokens())
+		par := 2 + int(workers%7) // 2 … 8
+
+		mk := func(p int) *Framework {
+			fw, err := New(ledger, Config{
+				Lambda:      ledger.NumTokens(),
+				Headroom:    true,
+				Algorithm:   algorithm,
+				Randomize:   true,
+				Parallelism: p,
+				StopAfter:   int(stopAfter % 4),
+			}, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fw
+		}
+		seqRes, seqErr := mk(1).GenerateRSSeeded(context.Background(), target, req, seed)
+		parRes, parErr := mk(par).GenerateRSSeeded(context.Background(), target, req, seed)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("error divergence at %d workers: seq %v vs par %v", par, seqErr, parErr)
+		}
+		if seqErr != nil {
+			return
+		}
+		if !seqRes.Tokens.Equal(parRes.Tokens) {
+			t.Fatalf("ring divergence at %d workers: seq %v vs par %v", par, seqRes.Tokens, parRes.Tokens)
+		}
+		if !seqRes.Tokens.Contains(target) {
+			t.Fatalf("ring %v misses target %d", seqRes.Tokens, target)
+		}
+	})
+}

