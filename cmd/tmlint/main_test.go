@@ -1,10 +1,24 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
+
+func regexpMustCompile(t *testing.T, s string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(s)
+	if err != nil {
+		t.Fatalf("problem matcher regexp %q does not compile: %v", s, err)
+	}
+	return re
+}
 
 // fixture resolves a golden fixture directory relative to this package.
 func fixture(name string) string {
@@ -16,14 +30,14 @@ func fixture(name string) string {
 // testdata import path, so each directory must exit 1.
 func TestRunExitCodes(t *testing.T) {
 	for _, name := range []string{"errdrop", "lockcheck", "atomiccheck", "setmutation"} {
-		if got := run([]string{fixture(name)}); got != 1 {
+		if got := run([]string{fixture(name)}, io.Discard, io.Discard); got != 1 {
 			t.Errorf("tmlint on the %s positive fixture: exit %d, want 1", name, got)
 		}
 	}
-	if got := run([]string{filepath.Join("..", "..", "internal", "obs")}); got != 0 {
+	if got := run([]string{filepath.Join("..", "..", "internal", "obs")}, io.Discard, io.Discard); got != 0 {
 		t.Errorf("tmlint on a clean package: exit %d, want 0", got)
 	}
-	if got := run([]string{"-list"}); got != 0 {
+	if got := run([]string{"-list"}, io.Discard, io.Discard); got != 0 {
 		t.Errorf("tmlint -list: exit %d, want 0", got)
 	}
 }
@@ -41,11 +55,95 @@ func TestRunPolicyDeny(t *testing.T) {
 	}
 
 	for _, name := range []string{"cryptorand", "determinism"} {
-		if got := run([]string{fixture(name)}); got != 0 {
+		if got := run([]string{fixture(name)}, io.Discard, io.Discard); got != 0 {
 			t.Errorf("without the deny rule the %s fixture is out of scope: exit %d, want 0", name, got)
 		}
-		if got := run([]string{"-policy", pol, fixture(name)}); got != 1 {
+		if got := run([]string{"-policy", pol, fixture(name)}, io.Discard, io.Discard); got != 1 {
 			t.Errorf("the deny rule should pull the %s fixture into scope: exit %d, want 1", name, got)
+		}
+	}
+}
+
+// TestRunJSON pins the -json output contract: a JSON array on stdout whose
+// elements carry file/line/column/analyzer/message, with module-relative
+// slash-separated paths — the shape the CI problem matcher and any tooling
+// downstream parse.
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", fixture("errdrop")}, &stdout, &stderr); got != 1 {
+		t.Fatalf("tmlint -json on the errdrop fixture: exit %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected at least one finding in the JSON output")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "errdrop" {
+			t.Errorf("analyzer = %q, want errdrop", d.Analyzer)
+		}
+		if d.Line <= 0 || d.Column <= 0 {
+			t.Errorf("finding has no position: %+v", d)
+		}
+		if d.Message == "" {
+			t.Errorf("finding has no message: %+v", d)
+		}
+		if !strings.HasPrefix(d.File, "internal/analysis/testdata/errdrop/") {
+			t.Errorf("file %q is not module-relative slash form", d.File)
+		}
+	}
+
+	// A clean package must still produce a valid (empty) JSON array.
+	stdout.Reset()
+	if got := run([]string{"-json", filepath.Join("..", "..", "internal", "obs")}, &stdout, io.Discard); got != 0 {
+		t.Fatalf("tmlint -json on a clean package: exit %d, want 0", got)
+	}
+	var empty []json.RawMessage
+	if err := json.Unmarshal(stdout.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("clean run should emit an empty JSON array, got %q (err %v)", stdout.String(), err)
+	}
+}
+
+// TestProblemMatcherShape checks the text output line format against the
+// regexp registered in the GitHub Actions problem matcher, so the two cannot
+// drift apart silently.
+func TestProblemMatcherShape(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "tmlint-problem-matcher.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matcher struct {
+		ProblemMatcher []struct {
+			Owner   string `json:"owner"`
+			Pattern []struct {
+				Regexp string `json:"regexp"`
+			} `json:"pattern"`
+		} `json:"problemMatcher"`
+	}
+	if err := json.Unmarshal(data, &matcher); err != nil {
+		t.Fatalf("bad problem matcher JSON: %v", err)
+	}
+	if len(matcher.ProblemMatcher) == 0 || len(matcher.ProblemMatcher[0].Pattern) == 0 {
+		t.Fatal("problem matcher has no pattern")
+	}
+
+	var stdout bytes.Buffer
+	if got := run([]string{fixture("errdrop")}, &stdout, io.Discard); got != 1 {
+		t.Fatalf("errdrop fixture: exit %d, want 1", got)
+	}
+	re := regexpMustCompile(t, matcher.ProblemMatcher[0].Pattern[0].Regexp)
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	for _, line := range lines {
+		if !re.MatchString(line) {
+			t.Errorf("output line does not match the problem matcher regexp:\n  line:   %s\n  regexp: %s", line, re)
 		}
 	}
 }

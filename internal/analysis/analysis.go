@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one named check. Run is invoked once per loaded package that
@@ -60,8 +61,50 @@ type Pass struct {
 	// RelPath returns a file path relative to the module root (the form the
 	// policy matches against); it falls back to the raw path outside it.
 	RelPath func(filename string) string
+	// AllPackages is every package loaded for this run (the reported set
+	// plus its module-local dependency closure), sorted by import path.
+	// Whole-program analyzers build their call graph and summaries from it.
+	AllPackages []*Package
+	// Shared memoizes run-wide facts (e.g. the dataflow program) across
+	// analyzers and packages; it is safe for concurrent passes.
+	Shared *Shared
 
 	report func(Diagnostic)
+}
+
+// Shared is a run-wide, concurrency-safe memoization table. Whole-program
+// analyzers use it so the dataflow program over AllPackages is built once
+// per run, not once per (analyzer, package) pass.
+type Shared struct {
+	mu   sync.Mutex
+	vals map[string]any
+	errs map[string]error
+}
+
+// NewShared returns an empty memoization table.
+func NewShared() *Shared {
+	return &Shared{vals: make(map[string]any), errs: make(map[string]error)}
+}
+
+// Get returns the memoized value for key, invoking build on first use.
+// Concurrent callers for the same key serialize; build runs at most once
+// (errors are memoized too, so a failed build is not retried).
+func (s *Shared) Get(key string, build func() (any, error)) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err, ok := s.errs[key]; ok {
+		return nil, err
+	}
+	if v, ok := s.vals[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		s.errs[key] = err
+		return nil, err
+	}
+	s.vals[key] = v
+	return v, nil
 }
 
 // Reportf records a finding at pos.
@@ -86,6 +129,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s",
 		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
 }
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// driver's output order. The cache driver re-sorts after merging replayed
+// and fresh diagnostics.
+func SortDiagnostics(ds []Diagnostic) { sortDiagnostics(ds) }
 
 // sortDiagnostics orders findings by file, line, column, analyzer.
 func sortDiagnostics(ds []Diagnostic) {

@@ -21,6 +21,10 @@ func All() []*analysis.Analyzer {
 		Errdrop,
 		Determinism,
 		Setmutation,
+		Secretflow,
+		Lockorder,
+		Ctxpoll,
+		Hotalloc,
 	}
 }
 

@@ -1,0 +1,144 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+	"tokenmagic/internal/analysis/dataflow"
+)
+
+// Ctxpoll keeps cancellation latency bounded in the ctx-aware solver
+// variants: every outermost loop of a *Ctx/*Context function that can do
+// real per-iteration work (it calls a function, or contains a nested loop
+// — the ring sweeps and BFS frontiers) must check ctx.Err()/ctx.Done() on
+// each iteration, either directly or through a module-local helper that
+// polls (selector's cancelled/ctxErr). Loops doing only builtin arithmetic
+// are exempt: they are bounded by their input and finish in microseconds.
+var Ctxpoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "*Ctx solver loops over rings or BFS frontiers must poll " +
+		"ctx.Err()/Done() every iteration, directly or via a polling helper",
+	Scope: []string{
+		"tokenmagic/internal/selector",
+		"tokenmagic/internal/tokenmagic",
+		"tokenmagic/internal/dtrs",
+	},
+	Run: runCtxpoll,
+}
+
+func runCtxpoll(pass *analysis.Pass) error {
+	prog, err := dataflow.Get(pass)
+	if err != nil {
+		return err
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !strings.HasSuffix(fn.Name.Name, "Ctx") && !strings.HasSuffix(fn.Name.Name, "Context") {
+				continue
+			}
+			if !hasContextParam(pass.Info, fn) {
+				continue
+			}
+			checkLoops(pass, prog, fn.Name.Name, fn.Body)
+		}
+	}
+	return nil
+}
+
+func hasContextParam(info *types.Info, fn *ast.FuncDecl) bool {
+	obj, _ := info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "context" && o.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLoops reports every outermost qualifying loop that lacks a poll.
+// Nested function literals are separate scopes and are skipped.
+func checkLoops(pass *analysis.Pass, prog *dataflow.Program, name string, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopBody = n.Body
+		case *ast.RangeStmt:
+			loopBody = n.Body
+		default:
+			return true
+		}
+		if qualifiesForPoll(pass.Info, loopBody) && !loopPolls(pass.Info, prog, loopBody) {
+			pass.Reportf(n.Pos(), "%s: loop body can run without checking ctx.Err()/ctx.Done(); poll directly or call a helper that polls", name)
+		}
+		return false // inner loops are the outer loop's responsibility
+	})
+}
+
+// qualifiesForPoll reports whether the loop can do unbounded per-iteration
+// work: it contains a call to a non-builtin function or a nested loop.
+func qualifiesForPoll(info *types.Info, body *ast.BlockStmt) bool {
+	qualifies := false
+	walkShallow(body, func(n ast.Node) bool {
+		if qualifies {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			qualifies = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			qualifies = true
+			return false
+		}
+		return true
+	})
+	return qualifies
+}
+
+// loopPolls reports whether the loop body observably checks cancellation:
+// a direct ctx.Err()/Done() call, or a call to a module-local function
+// whose transitive summary polls.
+func loopPolls(info *types.Info, prog *dataflow.Program, body *ast.BlockStmt) bool {
+	polls := false
+	walkShallow(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if dataflow.IsDirectPoll(info, call) {
+			polls = true
+			return false
+		}
+		if callee := dataflow.CalleeOf(info, call); callee != nil && prog.Polls(callee) {
+			polls = true
+			return false
+		}
+		return true
+	})
+	return polls
+}

@@ -15,6 +15,11 @@ import (
 // (auto-seeded since Go 1.20, so nondeterministic across runs).
 // Constructing a generator from an explicit seed (rand.New(rand.NewSource))
 // and using an injected *rand.Rand both remain allowed.
+//
+// internal/bench and internal/workload are in scope too: their workload
+// generation must replay byte-identically from a seed. The latency
+// stopwatches in bench carry per-file policy allows — measured wall time IS
+// the benchmark's output there, not an input to any decision.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now and global math/rand in internal/sim and the " +
@@ -24,6 +29,8 @@ var Determinism = &analysis.Analyzer{
 		"tokenmagic/internal/selector",
 		"tokenmagic/internal/diversity",
 		"tokenmagic/internal/dtrs",
+		"tokenmagic/internal/bench",
+		"tokenmagic/internal/workload",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,40 @@
+package analyzers
+
+import (
+	"tokenmagic/internal/analysis"
+	"tokenmagic/internal/analysis/dataflow"
+)
+
+// Lockorder builds the whole-program lock-acquisition graph (locks
+// identified by their declaring struct field or package-level variable)
+// and reports order cycles, cross-function re-entry, and
+// Lock-while-holding-RLock paths — the deadlock classes the PR 4 mutex
+// growth (Framework.mu, decompMu, refreshMu, the service RWMutexes) risks.
+// Acquisitions made inside module-local callees count via MayAcquire
+// summaries, so an inconsistent order split across two functions is still
+// caught.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "consistent lock acquisition order across functions: no cycles, no " +
+		"re-entry through callees, no RLock→Lock upgrades",
+	Scope: []string{
+		"tokenmagic/internal/tokenmagic",
+		"tokenmagic/internal/batchsvc",
+		"tokenmagic/internal/nodesvc",
+		"tokenmagic/internal/obs",
+	},
+	Run: runLockorder,
+}
+
+func runLockorder(pass *analysis.Pass) error {
+	prog, err := dataflow.Get(pass)
+	if err != nil {
+		return err
+	}
+	for _, f := range prog.LockOrderFindings() {
+		if f.PkgPath == pass.Pkg.Path() {
+			pass.Reportf(f.Pos, "%s", f.Message)
+		}
+	}
+	return nil
+}

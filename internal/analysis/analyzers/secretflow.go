@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"tokenmagic/internal/analysis"
+	"tokenmagic/internal/analysis/dataflow"
+)
+
+// Secretflow enforces the non-escape of ring-signature secrets. Values
+// derived from //tmlint:secret fields, parameters or results (the ringsig
+// private scalar, per-signature nonces) must never flow into fmt/log/slog
+// formatting, encoding/json, errors.New/fmt.Errorf, or obs metric labels —
+// the side channels CoinMagic-style analyses exploit to collapse ring
+// anonymity. Flows are tracked across module-local calls via per-function
+// taint summaries, so passing a secret to a helper that logs it is
+// reported at the call site.
+var Secretflow = &analysis.Analyzer{
+	Name: "secretflow",
+	Doc: "secret-derived values (//tmlint:secret) must not reach fmt/log/slog, " +
+		"encoding/json, error construction or obs metric labels, across calls",
+	Scope: []string{
+		"tokenmagic/internal/ringsig",
+		"tokenmagic/internal/wallet",
+		"tokenmagic/internal/tokenmagic",
+		"tokenmagic/internal/node",
+		"tokenmagic/internal/nodesvc",
+		"tokenmagic/internal/batchsvc",
+	},
+	Run: runSecretflow,
+}
+
+func runSecretflow(pass *analysis.Pass) error {
+	prog, err := dataflow.Get(pass)
+	if err != nil {
+		return err
+	}
+	for _, f := range prog.Taint() {
+		if f.PkgPath == pass.Pkg.Path() {
+			pass.Reportf(f.Pos, "%s", f.Message)
+		}
+	}
+	return nil
+}

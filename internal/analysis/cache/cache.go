@@ -1,0 +1,448 @@
+// Package cache is tmlint's incremental fact cache: per-package diagnostics
+// persisted under .tmlint-cache/, keyed by a content hash so a warm run on
+// an unchanged tree re-analyzes zero packages and never even constructs the
+// type-checker.
+//
+// # Keying
+//
+// A package's cache key is the SHA-256 of, in order:
+//
+//   - the analyzer version string (bumped whenever analyzer behaviour
+//     changes — the key namespace, not a heuristic);
+//   - the raw bytes of the active policy file (.tmlint.json), so editing an
+//     allow/deny rule invalidates everything;
+//   - the package's own source: every non-test .go file name and content, in
+//     sorted order. //lint:ignore edits therefore change the key, which is
+//     what makes suppression honest under caching;
+//   - the cache keys of its module-local imports, recursively, so a change
+//     in a dependency re-analyzes every dependent (whole-program analyzers
+//     read callee bodies across package boundaries);
+//   - for packages inside a coupled scope: the source hashes of every other
+//     package in that scope. Lock-order cycles are a whole-program property
+//     that does NOT follow the import graph (package A can form a cycle with
+//     a package that never imports it), so the lockorder scope is declared
+//     mutually invalidating.
+//
+// # Soundness caveats
+//
+// The key covers module-local sources, the policy and the analyzer version.
+// It does not cover the Go toolchain or standard library: a toolchain bump
+// that changes type-checking results needs a manual cache wipe (CI keys the
+// persisted cache on go.mod and the analyzer sources, which subsumes this).
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Config parameterizes a cached run.
+type Config struct {
+	// Root is the module root (directory containing go.mod).
+	Root string
+	// Dir is the cache directory; empty means Root/.tmlint-cache.
+	Dir string
+	// Version namespaces keys; bump it when analyzer behaviour changes.
+	Version string
+	// PolicyData is the raw policy file content (nil when absent).
+	PolicyData []byte
+	// Policy is the parsed form applied to fresh analysis.
+	Policy *analysis.Policy
+	// CoupledScopes lists import-path prefixes whose packages invalidate
+	// each other beyond the import graph (see the package comment).
+	CoupledScopes []string
+	// Parallelism bounds concurrent package analysis (0 = GOMAXPROCS).
+	Parallelism int
+	// Disable bypasses lookup and store (cold behaviour, for -cache=false
+	// and for measuring).
+	Disable bool
+}
+
+// Result is one cached run's outcome plus its analysis counters.
+type Result struct {
+	Diagnostics []analysis.Diagnostic
+	// Analyzed counts packages type-checked and analyzed this run; a warm
+	// run on an unchanged tree has Analyzed == 0.
+	Analyzed int
+	// Cached counts packages served from the cache.
+	Cached int
+	// AnalyzedPaths lists the re-analyzed import paths, sorted.
+	AnalyzedPaths []string
+}
+
+// storedDiag is the serialized form of one diagnostic. token.Pos is not
+// meaningful across processes, so only the resolved position is kept.
+type storedDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// entry is one package's cache file.
+type entry struct {
+	Key     string       `json:"key"`
+	Package string       `json:"package"`
+	Diags   []storedDiag `json:"diags,omitempty"`
+}
+
+// pkgState is the scanner's view of one package directory.
+type pkgState struct {
+	path        string // import path
+	dir         string // absolute directory
+	contentHash string
+	imports     []string // module-local import paths
+	key         string   // full cache key, computed after the dep graph
+}
+
+// Run analyzes the whole module with caching: fresh results for packages
+// whose key misses, replayed diagnostics for the rest.
+func Run(cfg Config, analyzers []*analysis.Analyzer) (*Result, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	cacheDir := cfg.Dir
+	if cacheDir == "" {
+		cacheDir = filepath.Join(root, ".tmlint-cache")
+	}
+	modPath, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+
+	states, err := scan(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	computeKeys(cfg, states)
+
+	res := &Result{}
+	var stale []*pkgState
+	for _, st := range states {
+		if cfg.Disable {
+			stale = append(stale, st)
+			continue
+		}
+		ent, ok := load(cacheDir, st.path)
+		if !ok || ent.Key != st.key {
+			stale = append(stale, st)
+			continue
+		}
+		res.Cached++
+		for _, d := range ent.Diags {
+			res.Diagnostics = append(res.Diagnostics, analysis.Diagnostic{
+				Analyzer: d.Analyzer,
+				Position: token.Position{
+					Filename: filepath.Join(root, filepath.FromSlash(d.File)),
+					Line:     d.Line,
+					Column:   d.Column,
+				},
+				Message: d.Message,
+			})
+		}
+	}
+
+	if len(stale) > 0 {
+		fresh, err := analyzeStale(root, stale, analyzers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.Disable {
+			if err := store(cacheDir, root, stale, fresh); err != nil {
+				return nil, err
+			}
+		}
+		for _, diags := range fresh {
+			res.Diagnostics = append(res.Diagnostics, diags...)
+		}
+		res.Analyzed = len(stale)
+		for _, st := range stale {
+			res.AnalyzedPaths = append(res.AnalyzedPaths, st.path)
+		}
+		sort.Strings(res.AnalyzedPaths)
+	}
+
+	analysis.SortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// analyzeStale loads the stale packages (module-local dependencies load
+// transitively through the importer) and runs the analyzers over them, with
+// the full loaded closure as the whole-program package set. The returned map
+// groups diagnostics by the directory of the file they point at, which is
+// the reported package's directory — whole-program analyzers attribute every
+// finding to the package owning the position.
+func analyzeStale(root string, stale []*pkgState, analyzers []*analysis.Analyzer, cfg Config) (map[string][]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*analysis.Package
+	for _, st := range stale {
+		pkg, err := loader.LoadDir(st.dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunWithOptions(pkgs, analyzers, cfg.Policy, loader.RelPath, analysis.RunOptions{
+		Parallelism: cfg.Parallelism,
+		AllPackages: loader.Packages(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	byDir := make(map[string][]analysis.Diagnostic, len(stale))
+	for _, st := range stale {
+		byDir[st.dir] = nil // a clean package stores an empty entry
+	}
+	for _, d := range diags {
+		dir := filepath.Dir(d.Position.Filename)
+		byDir[dir] = append(byDir[dir], d)
+	}
+	return byDir, nil
+}
+
+// scan walks the module and fingerprints every package directory without
+// type-checking: file contents for the hash, import clauses for the
+// dependency graph.
+func scan(root, modPath string) ([]*pkgState, error) {
+	var states []*pkgState
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		st, err := fingerprint(root, modPath, path)
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			states = append(states, st)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].path < states[j].path })
+	return states, nil
+}
+
+// fingerprint hashes one directory's non-test Go sources and collects its
+// module-local imports; nil when the directory holds no Go files.
+func fingerprint(root, modPath, dir string) (*pkgState, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+		if err != nil {
+			// Unparseable files still hash; the real loader will surface the
+			// error when the package is analyzed.
+			continue
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modPath || strings.HasPrefix(p, modPath+"/") {
+				importSet[p] = true
+			}
+		}
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return &pkgState{
+		path:        path,
+		dir:         dir,
+		contentHash: hex.EncodeToString(h.Sum(nil)),
+		imports:     imports,
+	}, nil
+}
+
+// computeKeys fills every state's full key: version + policy + own content +
+// recursive dependency keys + coupled-scope content hashes.
+func computeKeys(cfg Config, states []*pkgState) {
+	byPath := make(map[string]*pkgState, len(states))
+	for _, st := range states {
+		byPath[st.path] = st
+	}
+
+	// The coupling component is shared by every package inside a coupled
+	// scope: the sorted content hashes of all of them.
+	var coupled []string
+	for _, st := range states {
+		if inScopes(st.path, cfg.CoupledScopes) {
+			coupled = append(coupled, st.contentHash)
+		}
+	}
+	sort.Strings(coupled)
+	couplingHash := hashStrings(coupled)
+
+	visiting := make(map[string]bool)
+	var keyOf func(st *pkgState) string
+	keyOf = func(st *pkgState) string {
+		if st.key != "" {
+			return st.key
+		}
+		if visiting[st.path] {
+			return "cycle:" + st.path // impossible for valid Go; terminate anyway
+		}
+		visiting[st.path] = true
+		h := sha256.New()
+		fmt.Fprintf(h, "v:%s\x00", cfg.Version)
+		fmt.Fprintf(h, "p:%d\x00", len(cfg.PolicyData))
+		h.Write(cfg.PolicyData)
+		fmt.Fprintf(h, "\x00c:%s\x00", st.contentHash)
+		for _, imp := range st.imports {
+			dep := byPath[imp]
+			if dep == nil {
+				continue
+			}
+			fmt.Fprintf(h, "d:%s=%s\x00", imp, keyOf(dep))
+		}
+		if inScopes(st.path, cfg.CoupledScopes) {
+			fmt.Fprintf(h, "g:%s\x00", couplingHash)
+		}
+		delete(visiting, st.path)
+		st.key = hex.EncodeToString(h.Sum(nil))
+		return st.key
+	}
+	for _, st := range states {
+		keyOf(st)
+	}
+}
+
+func inScopes(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func hashStrings(ss []string) string {
+	h := sha256.New()
+	for _, s := range ss {
+		fmt.Fprintf(h, "%s\x00", s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entryFile names a package's cache file by hashing its import path, so
+// arbitrary paths map to flat safe names.
+func entryFile(cacheDir, pkgPath string) string {
+	sum := sha256.Sum256([]byte(pkgPath))
+	return filepath.Join(cacheDir, hex.EncodeToString(sum[:12])+".json")
+}
+
+func load(cacheDir, pkgPath string) (*entry, bool) {
+	data, err := os.ReadFile(entryFile(cacheDir, pkgPath))
+	if err != nil {
+		return nil, false
+	}
+	var ent entry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, false
+	}
+	return &ent, true
+}
+
+// store writes one entry per analyzed package — including clean ones, whose
+// empty entries are what make warm runs skip them.
+func store(cacheDir, root string, stale []*pkgState, byDir map[string][]analysis.Diagnostic) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	for _, st := range stale {
+		ent := entry{Key: st.key, Package: st.path}
+		for _, d := range byDir[st.dir] {
+			rel, err := filepath.Rel(root, d.Position.Filename)
+			if err != nil {
+				rel = d.Position.Filename
+			}
+			ent.Diags = append(ent.Diags, storedDiag{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(rel),
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Message:  d.Message,
+			})
+		}
+		data, err := json.MarshalIndent(&ent, "", "\t")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(entryFile(cacheDir, st.path), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moduleName reads the module path out of root/go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("cache: no module directive in %s", filepath.Join(root, "go.mod"))
+}

@@ -1,0 +1,211 @@
+package cache_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tokenmagic/internal/analysis"
+	"tokenmagic/internal/analysis/cache"
+)
+
+// badfunc is a deliberately trivial analyzer: the cache tests assert on the
+// driver's counters and invalidation behaviour, not on analyzer depth.
+var badfunc = &analysis.Analyzer{
+	Name: "badfunc",
+	Doc:  "reports functions named bad",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "bad" {
+					pass.Reportf(fd.Pos(), "function named bad")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// writeModule lays out a two-package module: a imports b (so editing b must
+// re-analyze a), and b pulls in strconv so cold runs pay a realistic
+// type-checking cost.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"cachetest/b\"\n\n// Render forwards to b.\nfunc Render(n int) string { return b.Text(n) }\n",
+		"b/b.go": "package b\n\nimport \"strconv\"\n\n// Text formats n.\nfunc Text(n int) string { return strconv.Itoa(n) }\n",
+	}
+	for name, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runCache(t *testing.T, cfg cache.Config) *cache.Result {
+	t.Helper()
+	res, err := cache.Run(cfg, []*analysis.Analyzer{badfunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func messages(res *cache.Result) []string {
+	var out []string
+	for _, d := range res.Diagnostics {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+// TestCacheLifecycle drives the cache through its whole contract: cold run,
+// warm run with zero re-analysis and a ≥5× speedup, dependency-aware
+// invalidation, replay of cached findings, suppression edits, version bumps
+// and policy changes.
+func TestCacheLifecycle(t *testing.T) {
+	root := writeModule(t)
+	cfg := cache.Config{Root: root, Version: "test1"}
+
+	start := time.Now()
+	cold := runCache(t, cfg)
+	coldDur := time.Since(start)
+	if cold.Analyzed != 2 || cold.Cached != 0 {
+		t.Fatalf("cold run: analyzed=%d cached=%d, want 2/0", cold.Analyzed, cold.Cached)
+	}
+	if len(cold.Diagnostics) != 0 {
+		t.Fatalf("cold run on clean module reported %v", messages(cold))
+	}
+
+	start = time.Now()
+	warm := runCache(t, cfg)
+	warmDur := time.Since(start)
+	if warm.Analyzed != 0 || warm.Cached != 2 {
+		t.Fatalf("warm run: analyzed=%d cached=%d, want 0/2", warm.Analyzed, warm.Cached)
+	}
+	if warmDur*5 > coldDur {
+		t.Errorf("warm run not ≥5× faster: cold=%v warm=%v", coldDur, warmDur)
+	}
+
+	// Editing b must re-analyze b AND its dependent a (the key folds in
+	// recursive dependency keys), and the new finding must surface.
+	bFile := filepath.Join(root, "b", "b.go")
+	base, err := os.ReadFile(bFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBad := string(base) + "\nfunc bad() {}\n"
+	if err := os.WriteFile(bFile, []byte(withBad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := runCache(t, cfg)
+	if edited.Analyzed != 2 {
+		t.Fatalf("after editing b: analyzed=%d (%v), want 2 (b plus dependent a)", edited.Analyzed, edited.AnalyzedPaths)
+	}
+	if len(edited.Diagnostics) != 1 || !strings.Contains(edited.Diagnostics[0].Message, "function named bad") {
+		t.Fatalf("after editing b: diagnostics %v, want the badfunc finding", messages(edited))
+	}
+
+	// A warm run must replay the cached finding without re-analysis.
+	replayed := runCache(t, cfg)
+	if replayed.Analyzed != 0 {
+		t.Fatalf("replay run re-analyzed %v", replayed.AnalyzedPaths)
+	}
+	if len(replayed.Diagnostics) != 1 || !strings.HasSuffix(replayed.Diagnostics[0].Position.Filename, filepath.FromSlash("b/b.go")) {
+		t.Fatalf("replay run diagnostics %v, want the cached badfunc finding", messages(replayed))
+	}
+
+	// Suppression × cache: adding a //lint:ignore is a source edit, so the
+	// key changes and the re-analysis honours the directive...
+	suppressed := strings.Replace(withBad, "\nfunc bad() {}\n",
+		"\n//lint:ignore badfunc fixture exercises suppression under caching\nfunc bad() {}\n", 1)
+	if err := os.WriteFile(bFile, []byte(suppressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ignored := runCache(t, cfg)
+	if ignored.Analyzed == 0 {
+		t.Fatal("editing an ignore directive did not invalidate the cached package")
+	}
+	if len(ignored.Diagnostics) != 0 {
+		t.Fatalf("suppressed finding still reported: %v", messages(ignored))
+	}
+	// ...and deleting the directive brings the finding back.
+	if err := os.WriteFile(bFile, []byte(withBad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored := runCache(t, cfg)
+	if restored.Analyzed == 0 || len(restored.Diagnostics) != 1 {
+		t.Fatalf("removing the ignore: analyzed=%d diagnostics=%v, want re-analysis and the finding back",
+			restored.Analyzed, messages(restored))
+	}
+
+	// Bumping the analyzer version invalidates everything.
+	bumped := runCache(t, cache.Config{Root: root, Version: "test2"})
+	if bumped.Analyzed != 2 {
+		t.Fatalf("version bump: analyzed=%d, want 2", bumped.Analyzed)
+	}
+
+	// Changing the policy bytes invalidates everything, and the parsed
+	// policy applies: an allow rule for b suppresses the finding.
+	policyJSON := []byte(`{"rules":[{"analyzer":"badfunc","path":"b","action":"allow","reason":"test"}]}`)
+	allowed := runCache(t, cache.Config{
+		Root: root, Version: "test2",
+		PolicyData: policyJSON,
+		Policy: &analysis.Policy{Rules: []analysis.Rule{
+			{Analyzer: "badfunc", Path: "b", Action: "allow", Reason: "test"},
+		}},
+	})
+	if allowed.Analyzed != 2 {
+		t.Fatalf("policy change: analyzed=%d, want 2", allowed.Analyzed)
+	}
+	if len(allowed.Diagnostics) != 0 {
+		t.Fatalf("policy-allowed finding still reported: %v", messages(allowed))
+	}
+}
+
+// TestCacheCoupledScopes checks the extra invalidation channel for
+// whole-program analyzers whose findings do not follow the import graph:
+// packages inside a coupled scope invalidate each other even without any
+// import edge between them.
+func TestCacheCoupledScopes(t *testing.T) {
+	root := writeModule(t)
+	cFile := filepath.Join(root, "c", "c.go")
+	if err := os.MkdirAll(filepath.Dir(cFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cFile, []byte("package c\n\nfunc N() int { return 3 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{
+		Root: root, Version: "test1",
+		CoupledScopes: []string{"cachetest/a", "cachetest/c"},
+	}
+	cold := runCache(t, cfg)
+	if cold.Analyzed != 3 {
+		t.Fatalf("cold: analyzed=%d, want 3", cold.Analyzed)
+	}
+
+	// Edit c: a is coupled to c without importing it, so both go stale;
+	// b is untouched.
+	if err := os.WriteFile(cFile, []byte("package c\n\nfunc N() int { return 4 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := runCache(t, cfg)
+	want := []string{"cachetest/a", "cachetest/c"}
+	if len(res.AnalyzedPaths) != 2 || res.AnalyzedPaths[0] != want[0] || res.AnalyzedPaths[1] != want[1] {
+		t.Fatalf("after editing c: re-analyzed %v, want %v", res.AnalyzedPaths, want)
+	}
+	if res.Cached != 1 {
+		t.Fatalf("after editing c: cached=%d, want 1 (b untouched)", res.Cached)
+	}
+}

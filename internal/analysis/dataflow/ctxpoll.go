@@ -1,0 +1,84 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Polls reports whether the function observably checks cancellation:
+// it calls ctx.Err() or ctx.Done() on a context.Context value directly,
+// or calls a module-local function that does (transitively). The ctxpoll
+// analyzer uses this so helpers like selector's cancelled(ctx)/ctxErr(ctx)
+// satisfy a loop's polling obligation.
+func (p *Program) Polls(obj *types.Func) bool {
+	p.pollsOnce.Do(p.computePolls)
+	if fn := p.Funcs[obj]; fn != nil {
+		return fn.polls
+	}
+	return false
+}
+
+func (p *Program) computePolls() {
+	for _, fn := range p.ordered {
+		fn.polls = hasDirectPoll(fn.Pkg.Info, fn.Decl.Body)
+	}
+	// Propagate through the call graph to fixpoint; the polls bit only
+	// flips false→true, so this terminates.
+	for {
+		changed := false
+		for _, fn := range p.ordered {
+			if fn.polls {
+				continue
+			}
+			for _, c := range fn.Calls {
+				if callee := p.Funcs[c.Callee]; callee != nil && callee.polls {
+					fn.polls = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func hasDirectPoll(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && IsDirectPoll(info, call) {
+			found = true
+			return false
+		}
+		// <-ctx.Done() appears as a call too; select statements need no
+		// special case.
+		return true
+	})
+	return found
+}
+
+// IsDirectPoll reports whether call is ctx.Err() or ctx.Done() on a
+// context.Context-typed receiver.
+func IsDirectPoll(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,376 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOp classifies one mutex method call.
+type LockOp int
+
+const (
+	OpLock LockOp = iota
+	OpRLock
+	OpUnlock
+	OpRUnlock
+)
+
+func (op LockOp) String() string {
+	switch op {
+	case OpLock:
+		return "Lock"
+	case OpRLock:
+		return "RLock"
+	case OpUnlock:
+		return "Unlock"
+	default:
+		return "RUnlock"
+	}
+}
+
+func (op LockOp) acquires() bool { return op == OpLock || op == OpRLock }
+
+// LockSummary is the lockorder fact for one function: the locks it may
+// acquire, directly or through module-local callees, ignoring internal
+// releases (a conservative over-approximation).
+type LockSummary struct {
+	MayAcquire map[string]LockOp // lock identity → strongest op (Lock > RLock)
+}
+
+// LockOrderFindings computes the whole-program lock-acquisition graph and
+// returns cycle, cross-function upgrade and re-entry findings, each
+// attributed to the package owning the reported position. Memoized.
+//
+// Lock identity is the declaring struct field or package-level variable
+// ("tokenmagic/internal/tokenmagic.Framework.mu"); function-local mutexes
+// that never escape have no cross-function identity and are skipped.
+func (p *Program) LockOrderFindings() []Finding {
+	p.locksOnce.Do(p.computeLocks)
+	return p.lockFindings
+}
+
+func (p *Program) computeLocks() {
+	// Phase 1: per-function MayAcquire to fixpoint.
+	for _, fn := range p.ordered {
+		fn.locks = &LockSummary{MayAcquire: make(map[string]LockOp)}
+		p.scanLocks(fn, func(ev lockEvent, held map[string]heldInfo) {
+			if ev.op.acquires() {
+				mergeAcquire(fn.locks.MayAcquire, ev.id, ev.op)
+			}
+		}, nil)
+	}
+	for {
+		changed := false
+		for _, fn := range p.ordered {
+			for _, c := range fn.Calls {
+				callee := p.Funcs[c.Callee]
+				if callee == nil || callee.locks == nil {
+					continue
+				}
+				for id, op := range callee.locks.MayAcquire {
+					before := fn.locks.MayAcquire[id]
+					mergeAcquire(fn.locks.MayAcquire, id, op)
+					if fn.locks.MayAcquire[id] != before {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 2: collect acquisition-order edges and direct findings.
+	type edge struct {
+		from, to string
+		pos      token.Pos
+		pkgPath  string
+		desc     string // human form of the acquisition ("B.Lock()" or "call to g")
+	}
+	var edges []edge
+	var findings []Finding
+	seenEdge := make(map[[2]string]int) // (from,to) → index of first edge
+
+	addEdge := func(from, to string, pos token.Pos, pkgPath, desc string) {
+		key := [2]string{from, to}
+		if _, ok := seenEdge[key]; !ok {
+			seenEdge[key] = len(edges)
+			edges = append(edges, edge{from, to, pos, pkgPath, desc})
+		}
+	}
+
+	for _, fn := range p.ordered {
+		fn := fn
+		p.scanLocks(fn, func(ev lockEvent, held map[string]heldInfo) {
+			if !ev.op.acquires() {
+				return
+			}
+			for id, h := range held {
+				if id == ev.id {
+					if h.op == OpRLock && ev.op == OpLock {
+						findings = append(findings, Finding{
+							Pos:     ev.pos,
+							PkgPath: fn.Pkg.Path,
+							Message: fmt.Sprintf("%s.Lock() while %s.RLock() is held in %s: RWMutex cannot be upgraded (self-deadlock)", short(ev.id), short(id), fn.Name()),
+						})
+					}
+					continue
+				}
+				addEdge(id, ev.id, ev.pos, fn.Pkg.Path, short(ev.id)+"."+ev.op.String()+"()")
+			}
+		}, func(c Call, held map[string]heldInfo) {
+			callee := p.Funcs[c.Callee]
+			if callee == nil || callee.locks == nil || len(held) == 0 {
+				return
+			}
+			for id, op := range callee.locks.MayAcquire {
+				h, isHeld := held[id]
+				if isHeld {
+					// Re-entry or upgrade through a callee: sync mutexes are
+					// not reentrant, so re-acquiring a held lock deadlocks.
+					// The only legal combination is RLock while RLock held.
+					if h.op == OpRLock && op == OpRLock {
+						continue
+					}
+					findings = append(findings, Finding{
+						Pos:     c.Site.Pos(),
+						PkgPath: fn.Pkg.Path,
+						Message: fmt.Sprintf("call to %s while %s is %s-held: callee may %s %s (self-deadlock)", callee.Name(), short(id), h.op, op, short(id)),
+					})
+					continue
+				}
+				for heldID := range held {
+					if heldID != id {
+						addEdge(heldID, id, c.Site.Pos(), fn.Pkg.Path, "call to "+callee.Name())
+					}
+				}
+			}
+		})
+	}
+
+	// Phase 3: cycle detection over the directed edge set.
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		var walk func(string) bool
+		walk = func(n string) bool {
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			for _, m := range adj[n] {
+				if walk(m) {
+					return true
+				}
+			}
+			return false
+		}
+		return walk(from)
+	}
+	for _, e := range edges {
+		if !reaches(e.to, e.from) {
+			continue
+		}
+		other := ""
+		if ri, ok := seenEdge[[2]string{e.to, e.from}]; ok {
+			re := edges[ri]
+			other = fmt.Sprintf(" (reverse order at %s)", p.shortPos(re.pos))
+		}
+		findings = append(findings, Finding{
+			Pos:     e.pos,
+			PkgPath: e.pkgPath,
+			Message: fmt.Sprintf("lock order cycle: %s acquired while %s is held%s", short(e.to), short(e.from), other),
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	p.lockFindings = findings
+}
+
+func mergeAcquire(m map[string]LockOp, id string, op LockOp) {
+	if cur, ok := m[id]; !ok || (cur == OpRLock && op == OpLock) {
+		m[id] = op
+	}
+}
+
+// shortPos renders a position as "file.go:NN" for embedding in messages.
+func (p *Program) shortPos(pos token.Pos) string {
+	if len(p.Packages) == 0 {
+		return "?"
+	}
+	pp := p.Packages[0].Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(pp.Filename), pp.Line)
+}
+
+// short strips the package-path prefix off a lock identity for messages.
+func short(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.Index(id, "."); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+type lockEvent struct {
+	id  string
+	op  LockOp
+	pos token.Pos
+}
+
+type heldInfo struct {
+	op  LockOp
+	pos token.Pos
+}
+
+// scanLocks walks fn's body in source order (skipping nested function
+// literals — a goroutine's acquisitions are not the caller's), maintaining
+// the held-lock set. onEvent fires before each mutex call takes effect;
+// onCall fires for each module-local call with the current held set.
+// Deferred unlocks are treated as "held until return", which is the
+// conservative direction for ordering edges.
+func (p *Program) scanLocks(fn *Func, onEvent func(lockEvent, map[string]heldInfo), onCall func(Call, map[string]heldInfo)) {
+	held := make(map[string]heldInfo)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// A deferred Unlock keeps the lock held for the rest of the
+				// scan; a deferred Lock (pathological) is ignored.
+				return false
+			case *ast.CallExpr:
+				if ev, ok := p.lockEventOf(fn.Pkg.Info, n); ok {
+					if onEvent != nil {
+						onEvent(ev, held)
+					}
+					if ev.op.acquires() {
+						held[ev.id] = heldInfo{op: ev.op, pos: ev.pos}
+					} else {
+						delete(held, ev.id)
+					}
+					return true
+				}
+				if callee := CalleeOf(fn.Pkg.Info, n); callee != nil {
+					if _, local := p.Funcs[callee]; local && onCall != nil {
+						onCall(Call{Site: n, Callee: callee}, held)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Decl.Body)
+}
+
+// lockEventOf classifies a call as a mutex operation on a lock with a
+// stable cross-function identity.
+func (p *Program) lockEventOf(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var op LockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = OpLock
+	case "RLock":
+		op = OpRLock
+	case "Unlock":
+		op = OpUnlock
+	case "RUnlock":
+		op = OpRUnlock
+	default:
+		return lockEvent{}, false
+	}
+	fnObj, _ := info.Uses[sel.Sel].(*types.Func)
+	if fnObj == nil || !isSyncMutexMethod(fnObj) {
+		return lockEvent{}, false
+	}
+	id := lockIdentity(info, sel.X)
+	if id == "" {
+		return lockEvent{}, false
+	}
+	return lockEvent{id: id, op: op, pos: call.Pos()}, true
+}
+
+func isSyncMutexMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// LockIdentity names the lock behind the receiver expression of a mutex
+// method call, in the same identity space the net-release and lock-order
+// summaries use. "" when the lock has no stable cross-function identity.
+func LockIdentity(info *types.Info, x ast.Expr) string {
+	return lockIdentity(info, x)
+}
+
+// lockIdentity names the lock behind the receiver expression of a mutex
+// method call: "pkgpath.Type.field" for struct fields, "pkgpath.var" for
+// package-level variables, "" for locals and unresolvable forms.
+func lockIdentity(info *types.Info, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			field, ok := sel.Obj().(*types.Var)
+			if !ok || !field.IsField() {
+				return ""
+			}
+			recv := sel.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return ""
+			}
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+		}
+		// Qualified identifier: pkg.mu
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

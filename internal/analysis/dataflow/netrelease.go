@@ -1,0 +1,164 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tokenmagic/internal/analysis/cfg"
+)
+
+// NetRelease classifies how a function releases locks it did not itself
+// acquire (i.e. locks its caller holds). Lockcheck uses this so a helper
+// like `func (f *F) releaseLocked()` counts as a release at its call
+// sites — but only when the release provably happens on every path.
+type NetRelease struct {
+	// Uncond holds lock identities released on every entry→exit path,
+	// mapped to the release flavor (OpUnlock or OpRUnlock).
+	Uncond map[string]LockOp
+	// Cond holds lock identities released on some but not all paths —
+	// the false-negative shape ISSUE 5 calls out: a conditional Unlock in
+	// a callee must NOT count as releasing on every path.
+	Cond map[string]LockOp
+}
+
+// NetReleasesOf returns the net-release summary for a module function, or
+// nil for non-module functions. Summaries are depth-1: a helper's helpers
+// are not folded in (documented soundness caveat — a release buried two
+// calls deep keeps the caller's finding, which errs toward reporting).
+func (p *Program) NetReleasesOf(obj *types.Func) *NetRelease {
+	p.netOnce.Do(p.computeNetReleases)
+	if fn := p.Funcs[obj]; fn != nil {
+		return fn.netRelease
+	}
+	return nil
+}
+
+func (p *Program) computeNetReleases() {
+	for _, fn := range p.ordered {
+		fn.netRelease = netReleaseOf(p, fn)
+	}
+}
+
+// netReleaseOf runs a per-lock path analysis over the function's CFG.
+// State per path: internal acquire depth and whether a caller-held lock
+// has been released. Deferred releases count as releasing on the path
+// that declared them (they run at exit).
+func netReleaseOf(p *Program, fn *Func) *NetRelease {
+	// Collect the lock IDs with release events; everything else cannot be
+	// net-released.
+	ids := make(map[string]LockOp)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ev, ok := p.lockEventOf(fn.Pkg.Info, call); ok && !ev.op.acquires() {
+				ids[ev.id] = ev.op
+			}
+		}
+		return true
+	})
+	out := &NetRelease{Uncond: make(map[string]LockOp), Cond: make(map[string]LockOp)}
+	if len(ids) == 0 {
+		return out
+	}
+	g := cfg.New(fn.Decl.Body)
+	for id, op := range ids {
+		anyNet, allNet := netOnEveryPath(p, fn, g, id)
+		if anyNet && allNet {
+			out.Uncond[id] = op
+		} else if anyNet {
+			out.Cond[id] = op
+		}
+	}
+	return out
+}
+
+// pathState is the per-path analysis state for one lock ID.
+type pathState struct {
+	depth int // internal acquires outstanding (capped)
+	net   bool
+}
+
+// netOnEveryPath reports (some path net-releases id, every path does).
+func netOnEveryPath(p *Program, fn *Func, g *cfg.Graph, id string) (anyNet, allNet bool) {
+	// States per block entry; fixpoint over the (tiny) product lattice.
+	in := make(map[*cfg.Block]map[pathState]bool)
+	in[g.Entry] = map[pathState]bool{{depth: 0, net: false}: true}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		states := in[b]
+		outStates := make(map[pathState]bool)
+		for s := range states {
+			outStates[applyBlock(p, fn, b, id, s)] = true
+		}
+		for _, succ := range b.Succs {
+			if in[succ] == nil {
+				in[succ] = make(map[pathState]bool)
+			}
+			changed := false
+			for s := range outStates {
+				if !in[succ][s] {
+					in[succ][s] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	exit := in[g.Exit]
+	if len(exit) == 0 {
+		// Exit unreachable (infinite loop): nothing escapes to the caller.
+		return false, false
+	}
+	allNet = true
+	for s := range exit {
+		if s.net {
+			anyNet = true
+		} else {
+			allNet = false
+		}
+	}
+	return anyNet, allNet
+}
+
+func applyBlock(p *Program, fn *Func, b *cfg.Block, id string, s pathState) pathState {
+	for _, stmt := range b.Stmts {
+		isDefer := false
+		node := ast.Node(stmt)
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			isDefer = true
+			node = d.Call
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ev, ok := p.lockEventOf(fn.Pkg.Info, call)
+			if !ok || ev.id != id {
+				return true
+			}
+			if ev.op.acquires() {
+				if !isDefer && s.depth < 2 {
+					s.depth++
+				}
+			} else {
+				if s.depth > 0 {
+					s.depth--
+				} else {
+					s.net = true
+				}
+			}
+			return true
+		})
+	}
+	return s
+}

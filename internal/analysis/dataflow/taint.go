@@ -1,0 +1,457 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Taint masks: bit i (i < 63) means "derived from parameter i", the top
+// bit means "derived from a declared secret" (a //tmlint:secret field,
+// parameter, or result).
+const secretBit uint64 = 1 << 63
+
+// SinkFlow records that a parameter's value reaches a sink.
+type SinkFlow struct {
+	// Sink names the sink ("fmt.Printf", "obs metrics label").
+	Sink string
+	// Via names the intermediate module function when the flow is
+	// indirect, "" for a direct call in the summarized function.
+	Via string
+}
+
+// TaintSummary is the secretflow fact for one function: which parameters
+// reach sinks (directly or through callees) and which flow to results.
+type TaintSummary struct {
+	ParamFlows    map[int]SinkFlow
+	ParamToResult map[int]bool
+}
+
+func (s *TaintSummary) equal(o *TaintSummary) bool {
+	if len(s.ParamFlows) != len(o.ParamFlows) || len(s.ParamToResult) != len(o.ParamToResult) {
+		return false
+	}
+	for k, v := range s.ParamFlows {
+		if o.ParamFlows[k] != v {
+			return false
+		}
+	}
+	for k := range s.ParamToResult {
+		if !o.ParamToResult[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Finding is one whole-program diagnostic, attributed to the package that
+// owns its position.
+type Finding struct {
+	Pos     token.Pos
+	PkgPath string
+	Message string
+}
+
+// Taint computes every function's taint summary to fixpoint, then collects
+// secret-escape findings. The result is memoized on the Program.
+//
+// Soundness caveats (documented in DESIGN.md): taint does not survive
+// calls into non-module code (crypto and math/big arithmetic act as
+// declassification boundaries — the published ring-signature scalar
+// s = α − c·x is clean by construction), and internally-introduced secret
+// taint is not propagated through returns; secret fields re-taint at every
+// read site instead.
+func (p *Program) Taint() []Finding {
+	p.taintOnce.Do(func() {
+		p.computeTaint()
+		var out []Finding
+		seen := make(map[string]bool)
+		for _, fn := range p.ordered {
+			st := &taintState{prog: p, fn: fn, obj: make(map[types.Object]uint64), sum: newTaintSummary()}
+			st.initParams()
+			st.iterate()
+			st.record = true
+			st.walkOnce()
+			for _, f := range st.findings {
+				key := fmt.Sprintf("%d:%s", f.Pos, f.Message)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, f)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+		p.taintFindings = out
+	})
+	return p.taintFindings
+}
+
+// TaintSummaryOf returns the computed summary for a module function
+// (computing all summaries on first use), or nil for non-module functions.
+func (p *Program) TaintSummaryOf(obj *types.Func) *TaintSummary {
+	p.Taint()
+	if fn := p.Funcs[obj]; fn != nil {
+		return fn.taint
+	}
+	return nil
+}
+
+func newTaintSummary() *TaintSummary {
+	return &TaintSummary{ParamFlows: make(map[int]SinkFlow), ParamToResult: make(map[int]bool)}
+}
+
+// computeTaint iterates summary computation until no summary changes.
+// Summaries grow monotonically, so this terminates.
+func (p *Program) computeTaint() {
+	for _, fn := range p.ordered {
+		fn.taint = newTaintSummary()
+	}
+	for round := 0; round < len(p.ordered)+2; round++ {
+		changed := false
+		for _, fn := range p.ordered {
+			st := &taintState{prog: p, fn: fn, obj: make(map[types.Object]uint64), sum: newTaintSummary()}
+			st.initParams()
+			st.iterate()
+			if !st.sum.equal(fn.taint) {
+				fn.taint = st.sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// taintState evaluates one function body flow-insensitively: object taints
+// only grow, and the walk repeats until they stabilize.
+type taintState struct {
+	prog     *Program
+	fn       *Func
+	obj      map[types.Object]uint64
+	sum      *TaintSummary
+	record   bool
+	findings []Finding
+	changed  bool
+}
+
+func (st *taintState) initParams() {
+	sig := st.fn.Obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		mask := uint64(1) << uint(min(i, 62))
+		if st.fn.SecretParams[i] {
+			mask |= secretBit
+		}
+		st.obj[sig.Params().At(i)] = mask
+	}
+}
+
+func (st *taintState) iterate() {
+	for round := 0; round < 32; round++ {
+		st.changed = false
+		st.walkOnce()
+		if !st.changed {
+			return
+		}
+	}
+}
+
+func (st *taintState) walkOnce() {
+	ast.Inspect(st.fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				st.assign(lhs, n.Values)
+			}
+		case *ast.RangeStmt:
+			m := st.eval(n.X)
+			if n.Key != nil {
+				st.taintExpr(n.Key, m)
+			}
+			if n.Value != nil {
+				st.taintExpr(n.Value, m)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				m := st.eval(res)
+				for b := 0; b < 63; b++ {
+					if m&(1<<uint(b)) != 0 {
+						if !st.sum.ParamToResult[b] {
+							st.sum.ParamToResult[b] = true
+						}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			st.eval(n.X)
+		case *ast.GoStmt:
+			st.eval(n.Call)
+		case *ast.DeferStmt:
+			st.eval(n.Call)
+		case *ast.SendStmt:
+			st.eval(n.Value)
+		}
+		return true
+	})
+}
+
+// assign propagates RHS taint onto LHS objects, handling both the pairwise
+// and the multi-value (x, y := f()) forms.
+func (st *taintState) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		m := st.eval(rhs[0])
+		for _, l := range lhs {
+			st.taintExpr(l, m)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			st.taintExpr(l, st.eval(rhs[i]))
+		}
+	}
+}
+
+// taintExpr adds mask to the object behind an assignable expression. For
+// field/index targets the base object absorbs the taint (writing a secret
+// into a struct taints the struct variable).
+func (st *taintState) taintExpr(e ast.Expr, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		var obj types.Object = st.fn.Pkg.Info.Defs[e]
+		if obj == nil {
+			obj = st.fn.Pkg.Info.Uses[e]
+		}
+		st.taintObj(obj, mask)
+	case *ast.SelectorExpr:
+		st.taintExpr(e.X, mask)
+	case *ast.IndexExpr:
+		st.taintExpr(e.X, mask)
+	case *ast.StarExpr:
+		st.taintExpr(e.X, mask)
+	}
+}
+
+func (st *taintState) taintObj(obj types.Object, mask uint64) {
+	if obj == nil || mask == 0 {
+		return
+	}
+	if st.obj[obj]|mask != st.obj[obj] {
+		st.obj[obj] |= mask
+		st.changed = true
+	}
+}
+
+// eval returns the taint mask of an expression, recording sink findings
+// and summary flows for call expressions along the way.
+func (st *taintState) eval(e ast.Expr) uint64 {
+	switch e := e.(type) {
+	case *ast.Ident:
+		var obj types.Object = st.fn.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = st.fn.Pkg.Info.Defs[e]
+		}
+		return st.obj[obj]
+	case *ast.SelectorExpr:
+		var m uint64
+		if sel, ok := st.fn.Pkg.Info.Selections[e]; ok {
+			if v, isVar := sel.Obj().(*types.Var); isVar && st.prog.SecretFields[v] {
+				m |= secretBit
+			}
+			m |= st.eval(e.X)
+			return m
+		}
+		// Qualified identifier (pkg.Var) or method value.
+		if obj := st.fn.Pkg.Info.Uses[e.Sel]; obj != nil {
+			if v, isVar := obj.(*types.Var); isVar && st.prog.SecretFields[v] {
+				return secretBit
+			}
+			return st.obj[obj]
+		}
+		return 0
+	case *ast.CallExpr:
+		return st.evalCall(e)
+	case *ast.BinaryExpr:
+		return st.eval(e.X) | st.eval(e.Y)
+	case *ast.UnaryExpr:
+		return st.eval(e.X)
+	case *ast.StarExpr:
+		return st.eval(e.X)
+	case *ast.ParenExpr:
+		return st.eval(e.X)
+	case *ast.IndexExpr:
+		return st.eval(e.X)
+	case *ast.SliceExpr:
+		return st.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return st.eval(e.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= st.eval(kv.Value)
+			} else {
+				m |= st.eval(el)
+			}
+		}
+		return m
+	case *ast.KeyValueExpr:
+		return st.eval(e.Value)
+	}
+	return 0
+}
+
+func (st *taintState) evalCall(call *ast.CallExpr) uint64 {
+	args := make([]uint64, len(call.Args))
+	var all uint64
+	for i, a := range call.Args {
+		args[i] = st.eval(a)
+		all |= args[i]
+	}
+	// Builtins (append, copy, min, max) pass taint through.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := st.fn.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return all
+		}
+	}
+	callee := CalleeOf(st.fn.Pkg.Info, call)
+	if callee == nil {
+		// Conversions pass taint through; indirect calls drop it.
+		if tv, ok := st.fn.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return all
+		}
+		return 0
+	}
+	if sink := classifySink(callee); sink != "" {
+		for i, m := range args {
+			if m == 0 {
+				continue
+			}
+			if st.record && m&secretBit != 0 {
+				st.finding(call.Args[i].Pos(), "secret value flows into %s", sink)
+			}
+			st.flowToSink(m, SinkFlow{Sink: sink})
+		}
+		return 0
+	}
+	if local := st.prog.Funcs[callee]; local != nil {
+		sum := local.taint
+		if sum == nil {
+			sum = newTaintSummary()
+		}
+		sig := callee.Type().(*types.Signature)
+		var res uint64
+		for i, m := range args {
+			if m == 0 {
+				continue
+			}
+			pi := paramIndex(sig, i, call)
+			if pi < 0 {
+				continue
+			}
+			if flow, ok := sum.ParamFlows[pi]; ok {
+				if st.record && m&secretBit != 0 {
+					st.finding(call.Args[i].Pos(), "secret value flows into %s via call to %s", flow.Sink, local.Name())
+				}
+				st.flowToSink(m, SinkFlow{Sink: flow.Sink, Via: local.Name()})
+			}
+			if sum.ParamToResult[pi] {
+				res |= m
+			}
+		}
+		if local.SecretResults {
+			res |= secretBit
+		}
+		return res
+	}
+	// Unknown external call: taint does not survive (declassification
+	// boundary — covers crypto/elliptic, crypto/sha256, math/big).
+	return 0
+}
+
+// flowToSink records "parameter b reaches sink" summary entries for every
+// parameter bit in mask. First flow recorded wins (deterministic: walk
+// order is source order).
+func (st *taintState) flowToSink(mask uint64, flow SinkFlow) {
+	for b := 0; b < 63; b++ {
+		if mask&(1<<uint(b)) == 0 {
+			continue
+		}
+		if _, ok := st.sum.ParamFlows[b]; !ok {
+			st.sum.ParamFlows[b] = flow
+		}
+	}
+}
+
+func (st *taintState) finding(pos token.Pos, format string, a ...any) {
+	st.findings = append(st.findings, Finding{
+		Pos:     pos,
+		PkgPath: st.fn.Pkg.Path,
+		Message: fmt.Sprintf(format, a...),
+	})
+}
+
+// paramIndex maps argument index i to the callee's parameter index,
+// folding variadic tails onto the last parameter.
+func paramIndex(sig *types.Signature, i int, call *ast.CallExpr) int {
+	n := sig.Params().Len()
+	if n == 0 {
+		return -1
+	}
+	if i >= n {
+		if sig.Variadic() {
+			return n - 1
+		}
+		return -1
+	}
+	return i
+}
+
+// classifySink names the sink a call into non-analyzed code represents, or
+// "" when the callee is not a sink. The sink set implements the ISSUE 5
+// contract: fmt/log/slog formatting, encoding/json, error construction and
+// obs metric labels must never observe secret-derived values.
+func classifySink(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch path := pkg.Path(); {
+	case path == "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Sprint") ||
+			strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Append") || name == "Errorf" {
+			return "fmt." + name
+		}
+	case path == "log" || path == "log/slog":
+		return path + "." + name
+	case path == "encoding/json":
+		if name == "Marshal" || name == "MarshalIndent" || name == "Encode" {
+			return "encoding/json." + name
+		}
+	case path == "errors":
+		if name == "New" {
+			return "errors.New"
+		}
+	case strings.HasSuffix(path, "/internal/obs"):
+		if name == "Counter" || name == "Gauge" || name == "Histogram" {
+			return "obs metrics label (" + name + ")"
+		}
+	}
+	return ""
+}

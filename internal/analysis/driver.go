@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -61,59 +63,141 @@ func (d ignoreDirective) matches(analyzer string, line int) bool {
 	return false
 }
 
+// IgnoreLines returns the source lines of f on which findings from the
+// named analyzer are suppressed by //lint:ignore directives. Whole-program
+// analyzers consult this while collecting facts in OTHER packages, so that
+// a suppressed construct (e.g. an allowed allocation inside a hotpath
+// callee) does not re-surface as a cross-function finding at the caller.
+// Malformed directives are ignored here; the driver reports them.
+func IgnoreLines(fset *token.FileSet, f *ast.File, analyzer string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, d := range parseIgnores(fset, f, func(Diagnostic) {}) {
+		for _, a := range d.analyzers {
+			if a == "*" || a == analyzer {
+				lines[d.line] = true
+				lines[d.line+1] = true
+				break
+			}
+		}
+	}
+	return lines
+}
+
+// RunOptions tunes a driver run.
+type RunOptions struct {
+	// Parallelism bounds the number of packages analyzed concurrently.
+	// Zero or negative means GOMAXPROCS.
+	Parallelism int
+	// AllPackages is the full loaded package set handed to passes for
+	// whole-program analysis. Nil means the reported set itself. It may be
+	// a superset of pkgs: the cache driver loads the dependency closure of
+	// the stale packages but only re-reports the stale ones.
+	AllPackages []*Package
+}
+
 // Run executes the analyzers over the packages, applying scope, policy and
 // //lint:ignore suppression. Diagnostics come back sorted by position.
 // The returned error reports analyzer failures, not findings.
 func Run(pkgs []*Package, analyzers []*Analyzer, policy *Policy, relPath func(string) string) ([]Diagnostic, error) {
+	return RunWithOptions(pkgs, analyzers, policy, relPath, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit parallelism and whole-program package
+// set. Packages are analyzed concurrently (each package runs its analyzers
+// sequentially); output ordering is deterministic regardless of schedule
+// because diagnostics are merged per-package and then position-sorted.
+func RunWithOptions(pkgs []*Package, analyzers []*Analyzer, policy *Policy, relPath func(string) string, opts RunOptions) ([]Diagnostic, error) {
 	if policy == nil {
 		policy = &Policy{}
 	}
-	fileRel := func(pos token.Position) string { return relPath(pos.Filename) }
+	all := opts.AllPackages
+	if all == nil {
+		all = pkgs
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shared := NewShared()
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perPkg[i], errs[i] = runPackage(pkg, analyzers, policy, relPath, all, shared)
+		}(i, pkg)
+	}
+	wg.Wait()
 
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		// Ignore directives are analyzer-independent; collect once per file.
-		var ignores []ignoreDirective
-		for _, f := range pkg.Files {
-			ignores = append(ignores, parseIgnores(pkg.Fset, f, func(d Diagnostic) {
-				diags = append(diags, d)
-			})...)
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		for _, a := range analyzers {
-			inScope := a.AppliesTo(pkg.Path)
-			if !inScope && !anyFileDenied(a, pkg, policy, relPath) {
-				continue
-			}
-			var raw []Diagnostic
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				RelPath:  relPath,
-				report:   func(d Diagnostic) { raw = append(raw, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range raw {
-				rel := fileRel(d.Position)
-				// Out-of-scope packages only report in policy-denied files.
-				if !inScope && !policy.Denies(a.Name, rel) {
-					continue
-				}
-				if policy.Allows(a.Name, rel) {
-					continue
-				}
-				if suppressed(ignores, d) {
-					continue
-				}
-				diags = append(diags, d)
-			}
-		}
+		diags = append(diags, perPkg[i]...)
 	}
 	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runPackage runs every applicable analyzer over one package and returns
+// the surviving (scope-, policy- and suppression-filtered) diagnostics.
+func runPackage(pkg *Package, analyzers []*Analyzer, policy *Policy, relPath func(string) string, all []*Package, shared *Shared) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	// Ignore directives are analyzer-independent; collect once per file.
+	var ignores []ignoreDirective
+	for _, f := range pkg.Files {
+		ignores = append(ignores, parseIgnores(pkg.Fset, f, func(d Diagnostic) {
+			diags = append(diags, d)
+		})...)
+	}
+	for _, a := range analyzers {
+		inScope := a.AppliesTo(pkg.Path)
+		if !inScope && !anyFileDenied(a, pkg, policy, relPath) {
+			continue
+		}
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			Info:        pkg.Info,
+			RelPath:     relPath,
+			AllPackages: all,
+			Shared:      shared,
+			report:      func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			rel := relPath(d.Position.Filename)
+			// Out-of-scope packages only report in policy-denied files.
+			if !inScope && !policy.Denies(a.Name, rel) {
+				continue
+			}
+			if policy.Allows(a.Name, rel) {
+				continue
+			}
+			if suppressed(ignores, d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
 	return diags, nil
 }
 

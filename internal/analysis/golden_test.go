@@ -128,6 +128,16 @@ func TestGolden(t *testing.T) {
 			importPath: "tokenmagic/internal/analysis/testdata/setmutation", analyzer: "setmutation"},
 		{name: "suppress", dir: "suppress",
 			importPath: "tokenmagic/internal/wallet/goldenfix", analyzer: "cryptorand"},
+		{name: "secretflow", dir: "secretflow",
+			importPath: "tokenmagic/internal/ringsig/secretflowfix", analyzer: "secretflow"},
+		{name: "secretflow_out_of_scope", dir: "secretflow",
+			importPath: "tokenmagic/internal/chain/secretflowfix", analyzer: "secretflow", outOfScope: true},
+		{name: "lockorder", dir: "lockorder",
+			importPath: "tokenmagic/internal/tokenmagic/lockorderfix", analyzer: "lockorder"},
+		{name: "ctxpoll", dir: "ctxpoll",
+			importPath: "tokenmagic/internal/selector/ctxpollfix", analyzer: "ctxpoll"},
+		{name: "hotalloc", dir: "hotalloc",
+			importPath: "tokenmagic/internal/diversity/hotallocfix", analyzer: "hotalloc"},
 	}
 
 	for _, tc := range cases {

@@ -93,6 +93,19 @@ func (l *Loader) RelPath(filename string) string {
 	return filepath.ToSlash(rel)
 }
 
+// Packages returns every module-local package loaded so far (explicitly or
+// as a dependency of an explicit load), sorted by import path. The cache
+// driver uses this to hand whole-program analyzers the dependency closure
+// of the stale set.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // LoadAll loads every package under the module root, skipping testdata,
 // hidden directories and directories without non-test Go files. Returned
 // packages are sorted by import path.

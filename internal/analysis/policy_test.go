@@ -46,6 +46,45 @@ func TestPolicyTieResolvesToAllow(t *testing.T) {
 	}
 }
 
+// TestPolicyTieEdgeCases pins down the resolution order when several rules
+// match at the same specificity: allow wins regardless of rule order, a
+// trailing slash does not change a rule's effective length, and a longer
+// deny still beats the allow.
+func TestPolicyTieEdgeCases(t *testing.T) {
+	denyFirst := &Policy{Rules: []Rule{
+		{Analyzer: "determinism", Path: "internal/sim", Action: "deny"},
+		{Analyzer: "determinism", Path: "internal/sim", Action: "allow"},
+	}}
+	allowFirst := &Policy{Rules: []Rule{
+		{Analyzer: "determinism", Path: "internal/sim", Action: "allow"},
+		{Analyzer: "determinism", Path: "internal/sim", Action: "deny"},
+	}}
+	for name, p := range map[string]*Policy{"deny-first": denyFirst, "allow-first": allowFirst} {
+		if !p.Allows("determinism", "internal/sim/sim.go") {
+			t.Errorf("%s: equal-length tie must resolve to allow independent of rule order", name)
+		}
+	}
+
+	slashed := &Policy{Rules: []Rule{
+		{Analyzer: "determinism", Path: "internal/sim/", Action: "allow"},
+		{Analyzer: "determinism", Path: "internal/sim", Action: "deny"},
+	}}
+	if !slashed.Allows("determinism", "internal/sim/sim.go") {
+		t.Error("a trailing slash must not demote an allow below the tie")
+	}
+
+	escalated := &Policy{Rules: []Rule{
+		{Analyzer: "determinism", Path: "internal/sim", Action: "allow"},
+		{Analyzer: "determinism", Path: "internal/sim/hot", Action: "deny"},
+	}}
+	if !escalated.Denies("determinism", "internal/sim/hot/loop.go") {
+		t.Error("a strictly longer deny must beat the shorter allow")
+	}
+	if !escalated.Allows("determinism", "internal/sim/cold/loop.go") {
+		t.Error("the shorter allow must still cover paths outside the deny subtree")
+	}
+}
+
 func TestLoadPolicy(t *testing.T) {
 	dir := t.TempDir()
 

@@ -1,0 +1,47 @@
+package ctxpollfix
+
+import "context"
+
+// GoodHelperCtx polls through the module-local helper — the cross-function
+// negative: the loop itself never mentions ctx.Err/Done.
+func GoodHelperCtx(ctx context.Context, ring []int) int {
+	total := 0
+	for _, t := range ring {
+		if cancelled(ctx) {
+			return total
+		}
+		total += step(t)
+	}
+	return total
+}
+
+// GoodDirectCtx polls inline.
+func GoodDirectCtx(ctx context.Context, ring []int) int {
+	total := 0
+	for _, t := range ring {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += step(t)
+	}
+	return total
+}
+
+// TrivialCtx only does builtin arithmetic per iteration: bounded work,
+// exempt from polling.
+func TrivialCtx(ctx context.Context, ring []int) int {
+	total := 0
+	for _, t := range ring {
+		total += t
+	}
+	return total
+}
+
+// plainSweep is not a *Ctx variant; it carries no polling obligation.
+func plainSweep(ring []int) int {
+	total := 0
+	for _, t := range ring {
+		total += step(t)
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Fixture for ctxpoll: loops in *Ctx solver variants that can do real
+// per-iteration work must poll cancellation every iteration.
+package ctxpollfix
+
+import "context"
+
+// cancelled mirrors selector's helper: a module-local function that polls,
+// satisfying a loop's obligation transitively.
+func cancelled(ctx context.Context) bool { return ctx.Err() != nil }
+
+// step is real per-iteration work with no poll.
+func step(x int) int { return x + 1 }
+
+// SolveCtx never checks ctx inside its ring sweep.
+func SolveCtx(ctx context.Context, ring []int) int {
+	total := 0
+	for _, t := range ring { // want "SolveCtx: loop body can run without checking ctx"
+		total += step(t)
+	}
+	return total
+}
+
+// FrontierCtx has a nested loop (a BFS frontier shape) and no poll.
+func FrontierCtx(ctx context.Context, frontiers [][]int) int {
+	n := 0
+	for _, f := range frontiers { // want "FrontierCtx: loop body can run without checking ctx"
+		for _, t := range f {
+			n += t
+		}
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package hotallocfix
+
+// hotSum does only builtin arithmetic and same-target growth: clean.
+//
+//tmlint:hotpath
+func hotSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// hotValueLit: value struct literals live on the stack and are allowed.
+type probe struct{ a, b int }
+
+//tmlint:hotpath
+func hotValueLit(a, b int) probe {
+	return probe{a: a, b: b}
+}
+
+// hotSuppressed carries a reasoned suppression on its warm-up allocation,
+// mirroring the diversity scratch-growth idiom.
+//
+//tmlint:hotpath
+func hotSuppressed(n int) []int {
+	//lint:ignore hotalloc scratch warm-up grows to high-water mark, amortized to zero
+	buf := make([]int, n)
+	return buf
+}
+
+// helperSuppressed is not hotpath; its allocation is declassified with a
+// reason, so hotCallsSuppressedHelper must stay clean — the suppression
+// must hold across the function boundary.
+func helperSuppressed() []int {
+	//lint:ignore hotalloc one-time initialization, not on the per-candidate path
+	return make([]int, 8)
+}
+
+//tmlint:hotpath
+func hotCallsSuppressedHelper() []int {
+	return helperSuppressed()
+}
+
+// coldAllocates has no hotpath mark: allocating is fine.
+func coldAllocates() []string {
+	return []string{"a", "b"}
+}

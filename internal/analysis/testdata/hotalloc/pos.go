@@ -1,0 +1,56 @@
+// Fixture for hotalloc: //tmlint:hotpath functions must not allocate;
+// helpers they call are checked one level deep.
+package hotallocfix
+
+// hotMake allocates scratch on every call.
+//
+//tmlint:hotpath
+func hotMake(n int) []int {
+	xs := make([]int, n) // want "hotpath function hotMake allocates: make"
+	return xs
+}
+
+// hotGrow: same-target append is the sanctioned amortized-growth idiom;
+// appending into a different variable escapes.
+//
+//tmlint:hotpath
+func hotGrow(xs []int, v int) []int {
+	xs = append(xs, v)
+	ys := append(xs, v) // want "hotpath function hotGrow allocates: append result escapes"
+	_ = ys
+	return xs
+}
+
+// helperAllocates is not hotpath itself, so its literal is only a finding
+// when a hotpath function calls it.
+func helperAllocates() map[string]int {
+	return map[string]int{}
+}
+
+// hotCaller is the cross-function case: the allocation lives in the
+// callee, the finding lands at the call site.
+//
+//tmlint:hotpath
+func hotCaller() int {
+	m := helperAllocates() // want "hotpath function hotCaller calls helperAllocates, which allocates"
+	return len(m)
+}
+
+//tmlint:hotpath
+func hotClosure() func() int {
+	total := 0
+	f := func() int { // want "hotpath function hotClosure allocates: closure capturing outer variables"
+		total++
+		return total
+	}
+	return f
+}
+
+func sinkIface(v interface{}) { _ = v }
+
+// hotBox passes a concrete int to an interface parameter: boxed.
+//
+//tmlint:hotpath
+func hotBox(x int) {
+	sinkIface(x) // want "hotpath function hotBox allocates: interface conversion"
+}

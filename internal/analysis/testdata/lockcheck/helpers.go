@@ -1,0 +1,62 @@
+package goldenfix
+
+import "sync"
+
+// condRel exercises the cross-function release summaries: releaseLocked
+// releases on every path, maybeUnlock only on some.
+type condRel struct {
+	mu      sync.Mutex
+	drained bool
+}
+
+// releaseLocked unconditionally releases; callers may end their critical
+// section through it.
+func (c *condRel) releaseLocked() {
+	c.mu.Unlock()
+}
+
+// maybeUnlock releases only on the drained path.
+func (c *condRel) maybeUnlock() {
+	if c.drained {
+		c.mu.Unlock()
+	}
+}
+
+// helperReleases ends the critical section through releaseLocked — the
+// net-release summary proves the helper unlocks on every path, so this is
+// clean (the old linear check would have called it "never released").
+func (c *condRel) helperReleases() bool {
+	c.mu.Lock()
+	d := c.drained
+	c.releaseLocked()
+	return d
+}
+
+// condHelperLeak trusts a conditional release: when drained is false the
+// lock stays held past the function's exit.
+func (c *condRel) condHelperLeak() {
+	c.mu.Lock()
+	c.maybeUnlock() // want "maybeUnlock releases it only on some of its paths"
+}
+
+// deferInLoop declares its release inside the loop body: with zero
+// iterations the defer never registers and the lock leaks. The old check
+// treated any defer anywhere as covering every path.
+func (g *guarded) deferInLoop(items []int) {
+	g.mu.Lock() // want "not released on every path"
+	for range items {
+		defer g.mu.Unlock()
+		g.n += len(items)
+		break
+	}
+}
+
+// deferUpFront is the corrected shape: the defer registers before the loop
+// runs, so every path — including zero iterations — is covered.
+func (g *guarded) deferUpFront(items []int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, it := range items {
+		g.n += it
+	}
+}

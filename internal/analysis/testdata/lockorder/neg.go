@@ -1,0 +1,53 @@
+package lockorderfix
+
+import "sync"
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+type Pair struct {
+	c C
+	d D
+}
+
+// Both call paths acquire c before d: a consistent order is no cycle.
+func (p *Pair) First() {
+	p.c.mu.Lock()
+	defer p.c.mu.Unlock()
+	p.lockD()
+}
+
+func (p *Pair) lockD() {
+	p.d.mu.Lock()
+	p.d.mu.Unlock()
+}
+
+func (p *Pair) Second() {
+	p.c.mu.Lock()
+	p.d.mu.Lock()
+	p.d.mu.Unlock()
+	p.c.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+// Read-locking twice through a helper is legal for RWMutex.
+func (r *R) ReadTwice() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peek()
+}
+
+func (r *R) peek() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 2
+}
+
+// Sequential (released-before-reacquire) use is not an ordering edge.
+func (p *Pair) Sequential() {
+	p.d.mu.Lock()
+	p.d.mu.Unlock()
+	p.c.mu.Lock()
+	p.c.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+// Fixture for lockorder: inconsistent acquisition order across functions,
+// re-entry through callees, and RLock→Lock upgrades.
+package lockorderfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type Sys struct {
+	a A
+	b B
+}
+
+// AB acquires A.mu then (through the callee) B.mu — one direction of the
+// cycle, caught cross-function via lockB's MayAcquire summary.
+func (s *Sys) AB() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.lockB() // want "lock order cycle: B.mu acquired while A.mu is held"
+}
+
+func (s *Sys) lockB() {
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// BA acquires in the opposite order inline.
+func (s *Sys) BA() {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want "lock order cycle: A.mu acquired while B.mu is held"
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+type G struct{ mu sync.RWMutex }
+
+// read holds the read lock and calls a helper that write-locks the same
+// mutex: the cross-function upgrade self-deadlock.
+func (g *G) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.refresh() // want "call to G.refresh while G.mu is RLock-held"
+}
+
+func (g *G) refresh() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return 1
+}

@@ -1,0 +1,38 @@
+package secretflowfix
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// okPublic: the non-secret field may be logged freely.
+func okPublic(k *Key) {
+	fmt.Println(k.Pub)
+}
+
+// okBlinded: arithmetic through math/big is a declassification boundary —
+// the published ring scalar s = α − c·x is clean by construction, exactly
+// like ringsig.Sign's published response.
+func okBlinded(k *Key) *big.Int {
+	c := big.NewInt(3)
+	s := new(big.Int).Sub(newNonce(), new(big.Int).Mul(c, k.D))
+	return s
+}
+
+// okHashed: one-way functions launder the secret; logging a commitment is
+// fine.
+func okHashed(k *Key) {
+	sum := sha256.Sum256(k.D.Bytes())
+	fmt.Printf("commitment=%x\n", sum)
+}
+
+// okHelper takes a secret-typed parameter but never leaks it, so calls to
+// it taint nothing.
+func okHelper(x *big.Int) *big.Int {
+	return x
+}
+
+func okThroughHelper(k *Key) *big.Int {
+	return okHelper(k.D)
+}

@@ -1,0 +1,60 @@
+// Fixture for secretflow: secret-annotated values must not reach
+// formatting, JSON, error-construction or metric-label sinks, including
+// through module-local helpers (cross-function cases).
+package secretflowfix
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+)
+
+// Key mirrors ringsig.PrivateKey: the scalar is secret, the public half
+// is not.
+type Key struct {
+	//tmlint:secret
+	D *big.Int
+	// Pub is public by construction.
+	Pub string
+}
+
+func logKey(k *Key) {
+	fmt.Printf("key=%v\n", k.D) // want "secret value flows into fmt.Printf"
+}
+
+// dumpScalar is the leaky helper: its parameter reaches log.Printf, so the
+// summary records param 0 → log.Printf.
+func dumpScalar(x *big.Int) {
+	log.Printf("scalar=%v", x)
+}
+
+// leakViaHelper is the cross-function case: the secret field flows into a
+// sink inside the callee, reported here at the call site.
+func leakViaHelper(k *Key) {
+	dumpScalar(k.D) // want "secret value flows into log.Printf via call to dumpScalar"
+}
+
+// newNonce mirrors ringsig.randScalar: its result is a secret.
+//
+//tmlint:secret
+func newNonce() *big.Int { return big.NewInt(7) }
+
+func leakNonce() error {
+	n := newNonce()
+	return fmt.Errorf("nonce %v", n) // want "secret value flows into fmt.Errorf"
+}
+
+// mix demonstrates the named-parameter directive form.
+//
+//tmlint:secret alpha
+func mix(alpha *big.Int, c int) {
+	_ = c
+	fmt.Println(alpha) // want "secret value flows into fmt.Println"
+}
+
+// assigned taint follows simple def-use chains.
+func leakViaLocal(k *Key) {
+	x := k.D
+	y := x
+	log.Println(y) // want "secret value flows into log.Println"
+}

@@ -127,6 +127,7 @@ func (h *Histogram) AddN(tx chain.TxID, n int) {
 		return
 	}
 	if h.counts == nil {
+		//lint:ignore hotalloc lazy one-time init of the backing map; every later AddN reuses it, so steady-state stays allocation-free
 		h.counts = make(map[chain.TxID]int)
 	}
 	old := h.counts[tx]
@@ -235,6 +236,8 @@ func (h *Histogram) MinCount() int {
 // (c, ℓ)-diversity: q₁ < c·(q_ℓ + … + q_θ). When θ < ℓ the tail sum is
 // empty, so a non-empty histogram always fails (q₁ ≥ 1 > 0 = c·0); an empty
 // histogram vacuously satisfies every requirement.
+//
+//tmlint:hotpath
 func (h *Histogram) Satisfies(req Requirement) bool {
 	return h.Slack(req) < 0
 }
@@ -248,6 +251,8 @@ func (h *Histogram) Satisfies(req Requirement) bool {
 // maximum, with zero allocation. ℓ is a per-call parameter, so one index
 // serves every requirement (see DESIGN.md on why the head walk, not a
 // pinned-ℓ running tail, is the right trade).
+//
+//tmlint:hotpath
 func (h *Histogram) Slack(req Requirement) float64 {
 	if h.total == 0 {
 		return -1 // vacuous satisfaction for empty multisets
@@ -275,6 +280,7 @@ func (h *Histogram) Slack(req Requirement) float64 {
 // warm-up of a reusable scratch buffer).
 //
 //tmlint:readonly hts
+//tmlint:hotpath
 func (h *Histogram) SlackIfAdded(req Requirement, hts []chain.TxID) float64 {
 	h.probeTx = h.probeTx[:0]
 	h.probeNew = h.probeNew[:0]
@@ -301,9 +307,11 @@ func (h *Histogram) SlackIfAdded(req Requirement, hts []chain.TxID) float64 {
 // module. Read-only: only map lookups, no mutation, no allocation.
 //
 //tmlint:readonly txs ns
+//tmlint:hotpath
 func (h *Histogram) SlackIfAddedN(req Requirement, txs []chain.TxID, ns []int) float64 {
 	f := len(txs)
 	if cap(h.probeOld) < f {
+		//lint:ignore hotalloc amortized scratch warm-up: grows monotonically to the widest footprint, then every probe reuses it (the benchmarks assert 0 allocs/op steady-state)
 		h.probeOld = make([]int, f)
 	}
 	old := h.probeOld[:f]
@@ -352,6 +360,8 @@ func (h *Histogram) SlackIfAddedN(req Requirement, txs []chain.TxID, ns []int) f
 // SlackWithout returns the slack the histogram would have if the whole class
 // tx were removed, without mutating the index. This is exactly the DTRS
 // check of Theorem 6.1: ψ(i,j) = ring \ T̃(h_j) drops one full HT class.
+//
+//tmlint:hotpath
 func (h *Histogram) SlackWithout(req Requirement, tx chain.TxID) float64 {
 	drop := h.counts[tx]
 	if drop == 0 {

@@ -55,6 +55,10 @@ func (p Point) Bytes() []byte {
 
 // PrivateKey is a scalar x with its public point P = x·G.
 type PrivateKey struct {
+	// D is the private scalar. Secret: it must never reach logs, error
+	// strings, JSON encoding or metric labels (secretflow enforces this).
+	//
+	//tmlint:secret
 	D      *big.Int
 	Public Point
 }
@@ -263,7 +267,11 @@ func ySquaredRoot(x *big.Int) *big.Int {
 	return y
 }
 
-// randScalar draws a uniform scalar in [1, N-1].
+// randScalar draws a uniform scalar in [1, N-1]. Its result is a
+// per-signature nonce or response scalar; leaking one alongside the
+// challenge recovers the private key, so the result is secret-tainted.
+//
+//tmlint:secret
 func randScalar(rng io.Reader) (*big.Int, error) {
 	order := Curve.Params().N
 	for {

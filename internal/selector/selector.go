@@ -286,6 +286,8 @@ func newState(p *Problem) *state {
 }
 
 // add selects candidate i.
+//
+//tmlint:hotpath
 func (st *state) add(i int) {
 	st.selected[i] = true
 	st.modules++
@@ -298,6 +300,8 @@ func (st *state) add(i int) {
 
 // remove deselects candidate i. Only valid when modules do not overlap
 // (guaranteed under the first practical configuration).
+//
+//tmlint:hotpath
 func (st *state) remove(i int) {
 	st.selected[i] = false
 	st.modules--
@@ -321,6 +325,8 @@ func (st *state) result() Result {
 }
 
 // newHTs counts |H_i \ H|: distinct HTs candidate i would newly contribute.
+//
+//tmlint:hotpath
 func (st *state) newHTs(i int) int {
 	n := 0
 	for _, tx := range st.p.candFP[i].txs {
@@ -335,6 +341,8 @@ func (st *state) newHTs(i int) int {
 // It is a read-only delta probe against the incremental index: the module's
 // precomputed footprint is overlaid on the count-of-counts walk without
 // mutating the histogram — no cloning, no allocation, no undo step.
+//
+//tmlint:hotpath
 func (st *state) slackWith(i int) float64 {
 	fp := &st.p.candFP[i]
 	return st.hist.SlackIfAddedN(st.p.Req, fp.txs, fp.ns)

@@ -54,6 +54,8 @@ const (
 // standard recipe for statistically independent fixed-seed streams, and a
 // pure function, so replaying a request re-derives the identical streams no
 // matter how many workers race over the candidates.
+//
+//tmlint:hotpath
 func DeriveSeed(seed int64, stream uint64) int64 {
 	z := uint64(seed) + (stream+1)*0x9E3779B97F4A7C15
 	z ^= z >> 30
