@@ -35,7 +35,7 @@ import (
 // analyzerVersion namespaces the fact cache: bump it whenever an analyzer's
 // behaviour, message format, scope, or the driver's suppression semantics
 // change, so stale cached diagnostics can never survive an upgrade.
-const analyzerVersion = "tmlint-5"
+const analyzerVersion = "tmlint-7"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

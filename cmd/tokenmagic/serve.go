@@ -13,6 +13,7 @@ import (
 	"tokenmagic/internal/node"
 	"tokenmagic/internal/nodesvc"
 	"tokenmagic/internal/obs"
+	"tokenmagic/internal/obs/trace"
 	"tokenmagic/internal/selector"
 	"tokenmagic/internal/tokenmagic"
 )
@@ -26,21 +27,31 @@ type fullNode struct {
 }
 
 // newFullNode composes the public protocol handler. The two service muxes
-// own disjoint routes, so the outer mux just dispatches whole paths.
-func newFullNode(led *chain.Ledger, lambda int, eta float64, allowUnsigned bool) (*fullNode, error) {
+// own disjoint routes, so the outer mux just dispatches whole paths. With
+// spendKeys set the node generates one keypair per token and serves the
+// server-signed /v1/spend pipeline (load generation and experiments).
+func newFullNode(led *chain.Ledger, lambda int, eta float64, allowUnsigned, spendKeys bool) (*fullNode, error) {
 	bs, err := batchsvc.NewServer(led, lambda)
 	if err != nil {
 		return nil, err
 	}
-	nd, err := node.New(led, node.Config{
+	cfg := node.Config{
 		Framework: tokenmagic.Config{
 			Lambda:    lambda,
 			Eta:       eta,
 			Headroom:  true,
 			Algorithm: tokenmagic.Progressive,
+			Randomize: true,
 		},
 		AllowUnsigned: allowUnsigned,
-	})
+	}
+	if spendKeys {
+		cfg.Keys, err = node.GenerateKeys(nil, led)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nd, err := node.New(led, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +61,7 @@ func newFullNode(led *chain.Ledger, lambda int, eta float64, allowUnsigned bool)
 	for _, route := range []string{"/v1/meta", "/v1/batch", "/v1/rings"} {
 		mux.Handle(route, bh)
 	}
-	for _, route := range []string{"/v1/submit", "/v1/mine", "/v1/status"} {
+	for _, route := range []string{"/v1/submit", "/v1/mine", "/v1/spend", "/v1/status"} {
 		mux.Handle(route, nh)
 	}
 	return &fullNode{batch: bs, node: nd, handler: mux}, nil
@@ -84,9 +95,12 @@ func cmdServe(args []string) error {
 	withPprof := fs.Bool("pprof", true, "mount net/http/pprof on the -metrics port")
 	logLevel := fs.String("log-level", "info", "slog level: debug|info|warn|error")
 	allowUnsigned := fs.Bool("allow-unsigned", false, "accept submissions without ring signatures (experiments only)")
+	spendKeys := fs.Bool("spend-keys", false, "generate per-token keys and serve the server-signed /v1/spend pipeline (load testing only)")
+	traces := fs.Bool("traces", true, "record request traces (export on the -metrics port at /debug/traces)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	trace.Default().SetEnabled(*traces)
 	if err := setupLogging(*logLevel); err != nil {
 		return err
 	}
@@ -94,7 +108,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fn, err := newFullNode(d.Ledger, *lambda, *eta, *allowUnsigned)
+	fn, err := newFullNode(d.Ledger, *lambda, *eta, *allowUnsigned, *spendKeys)
 	if err != nil {
 		return err
 	}

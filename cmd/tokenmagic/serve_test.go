@@ -27,7 +27,7 @@ func TestServeFullLoopTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, err := newFullNode(d.Ledger, d.Ledger.NumTokens(), 0.1, true)
+	fn, err := newFullNode(d.Ledger, d.Ledger.NumTokens(), 0.1, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

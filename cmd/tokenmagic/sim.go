@@ -63,6 +63,14 @@ func cmdSim(args []string) error {
 	fmt.Printf("\nmetrics: solves=%d solveFailures=%d cacheHitRate=%.1f%% admits=%d rejects=%d (liveness=%d config=%d diversity=%d other=%d)\n",
 		st.Solves, st.SolveFailures, 100*st.CacheHitRate(), st.VerifyAdmits,
 		st.Rejects(), st.RejectLiveness, st.RejectConfig, st.RejectDiversity, st.RejectOther)
+	for _, algo := range []string{"TM_P", "TM_G", "TM_S", "TM_R", "TM_B"} {
+		h, ok := res.SolveLatencyUS[algo]
+		if !ok {
+			continue
+		}
+		fmt.Printf("solve latency %s: n=%d mean=%.0fus p50=%.0fus p99=%.0fus\n",
+			algo, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+	}
 	return nil
 }
 

@@ -25,6 +25,7 @@ func All() []*analysis.Analyzer {
 		Lockorder,
 		Ctxpoll,
 		Hotalloc,
+		Tracecheck,
 	}
 }
 

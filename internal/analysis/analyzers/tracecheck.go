@@ -1,0 +1,163 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tokenmagic/internal/analysis"
+)
+
+// Tracecheck enforces the span lifecycle idiom of internal/obs/trace: every
+// trace.StartSpan / trace.StartChild call must bind its span result to a
+// local variable and end it on every path of the same function — `defer sp.End()` directly, or one
+// `sp.End()` inside a deferred func literal (the form used when the deferred
+// closure also annotates the outcome). A span that is discarded, shadowed
+// into the blank identifier, or only ended on the fall-through path leaks an
+// unfinished span: the trace never reaches the collector and the stage's
+// latency silently vanishes from /debug/traces and the stage histograms.
+var Tracecheck = &analysis.Analyzer{
+	Name: "tracecheck",
+	Doc: "trace.StartSpan/StartChild results must be bound and ended via defer " +
+		"(sp.End() directly or inside one deferred func literal) in the " +
+		"same function, so every span reaches the collector on every path",
+	Scope: []string{
+		"tokenmagic/internal/selector",
+		"tokenmagic/internal/tokenmagic",
+		"tokenmagic/internal/ringsig",
+		"tokenmagic/internal/node",
+		"tokenmagic/internal/nodesvc",
+		"tokenmagic/internal/batchsvc",
+		"tokenmagic/internal/obs",
+		"tokenmagic/internal/wallet",
+	},
+	Run: runTracecheck,
+}
+
+func runTracecheck(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			checkSpanLifecycles(pass, name, body)
+		})
+	}
+	return nil
+}
+
+// spanStart returns the name of the span-opening function the call invokes
+// — trace.StartSpan or trace.StartChild of the project's trace package
+// (matched by path suffix so golden fixtures loaded under synthetic import
+// paths still resolve the real package) — or "" for any other call.
+func spanStart(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || (fn.Name() != "StartSpan" && fn.Name() != "StartChild") {
+		return ""
+	}
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/internal/obs/trace") {
+		return ""
+	}
+	return fn.Name()
+}
+
+// checkSpanLifecycles verifies each StartSpan in body (excluding nested
+// function literals — separate scopes, checked on their own) against the
+// bind-and-defer-End idiom.
+func checkSpanLifecycles(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	// Pass 1: find every span-start call and the object its span binds to.
+	type spanUse struct {
+		call *ast.CallExpr
+		fn   string
+		obj  types.Object // nil when the result is discarded
+	}
+	var spans []spanUse
+	walkShallow(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if ok && len(assign.Rhs) == 1 {
+			if call, isCall := assign.Rhs[0].(*ast.CallExpr); isCall {
+				if fn := spanStart(pass.Info, call); fn != "" {
+					spans = append(spans, spanUse{call: call, fn: fn, obj: spanBinding(pass.Info, assign)})
+					return true
+				}
+			}
+		}
+		if expr, ok := n.(*ast.ExprStmt); ok {
+			if call, isCall := expr.X.(*ast.CallExpr); isCall {
+				if fn := spanStart(pass.Info, call); fn != "" {
+					spans = append(spans, spanUse{call: call, fn: fn})
+				}
+			}
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2: collect the span objects that some defer in this body ends.
+	ended := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if obj := endReceiver(pass.Info, def.Call); obj != nil {
+			ended[obj] = true // defer sp.End()
+			return true
+		}
+		if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; sp.End() }(): End anywhere in the literal.
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := endReceiver(pass.Info, call); obj != nil {
+						ended[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	for _, s := range spans {
+		switch {
+		case s.obj == nil:
+			pass.Reportf(s.call.Pos(), "%s: span returned by trace.%s is discarded; bind it and defer its End", name, s.fn)
+		case !ended[s.obj]:
+			pass.Reportf(s.call.Pos(), "%s: span %q is not ended on every path; defer %s.End() (directly or in one deferred func literal) in this function", name, s.obj.Name(), s.obj.Name())
+		}
+	}
+}
+
+// spanBinding returns the object the assignment binds StartSpan's span
+// result (the last LHS) to, or nil when it is blank or not a plain
+// identifier.
+func spanBinding(info *types.Info, assign *ast.AssignStmt) types.Object {
+	if len(assign.Lhs) == 0 {
+		return nil
+	}
+	id, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id] // `=` rebinding an existing variable
+}
+
+// endReceiver returns the object of x in a call `x.End()` against the trace
+// package's span types, or nil when the call is anything else.
+func endReceiver(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/internal/obs/trace") {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

@@ -452,6 +452,13 @@ func classifySink(fn *types.Func) string {
 		if name == "Counter" || name == "Gauge" || name == "Histogram" {
 			return "obs metrics label (" + name + ")"
 		}
+	case strings.HasSuffix(path, "/internal/obs/trace"):
+		// Span/trace annotations are exported verbatim by /debug/traces and
+		// echoed into debug logs — a secret annotated onto a span is a secret
+		// published over HTTP.
+		if strings.HasPrefix(name, "Annotate") {
+			return "trace span annotation (" + name + ")"
+		}
 	}
 	return ""
 }

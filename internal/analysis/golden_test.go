@@ -138,6 +138,10 @@ func TestGolden(t *testing.T) {
 			importPath: "tokenmagic/internal/selector/ctxpollfix", analyzer: "ctxpoll"},
 		{name: "hotalloc", dir: "hotalloc",
 			importPath: "tokenmagic/internal/diversity/hotallocfix", analyzer: "hotalloc"},
+		{name: "tracecheck", dir: "tracecheck",
+			importPath: "tokenmagic/internal/selector/tracecheckfix", analyzer: "tracecheck"},
+		{name: "tracecheck_out_of_scope", dir: "tracecheck",
+			importPath: "tokenmagic/internal/chain/tracecheckfix", analyzer: "tracecheck", outOfScope: true},
 	}
 
 	for _, tc := range cases {

@@ -4,9 +4,12 @@
 package secretflowfix
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
+
+	"tokenmagic/internal/obs/trace"
 )
 
 // Key mirrors ringsig.PrivateKey: the scalar is secret, the public half
@@ -16,6 +19,9 @@ type Key struct {
 	D *big.Int
 	// Pub is public by construction.
 	Pub string
+	// Seed is the wallet's deterministic-key seed — also secret.
+	//tmlint:secret
+	Seed string
 }
 
 func logKey(k *Key) {
@@ -57,4 +63,12 @@ func leakViaLocal(k *Key) {
 	x := k.D
 	y := x
 	log.Println(y) // want "secret value flows into log.Println"
+}
+
+// leakAnnotate publishes a secret as a span annotation: /debug/traces and
+// debug logs would expose it over HTTP.
+func leakAnnotate(ctx context.Context, k *Key) {
+	_, sp := trace.StartSpan(ctx, "sign")
+	defer sp.End()
+	sp.Annotate("seed", k.Seed) // want "secret value flows into trace span annotation .Annotate."
 }

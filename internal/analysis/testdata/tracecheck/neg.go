@@ -1,0 +1,60 @@
+package tracecheckfix
+
+import (
+	"context"
+
+	"tokenmagic/internal/obs/trace"
+)
+
+// okDirectDefer is the common form: bind, defer End immediately.
+func okDirectDefer(ctx context.Context) {
+	ctx, sp := trace.StartSpan(ctx, "sign")
+	defer sp.End()
+	_ = ctx
+	work()
+}
+
+// okDeferredLiteral ends the span inside one deferred func literal, the
+// form used when the closure also annotates the outcome.
+func okDeferredLiteral(ctx context.Context) (n int) {
+	_, sp := trace.StartSpan(ctx, "solve")
+	defer func() {
+		sp.AnnotateInt("ring_size", int64(n))
+		sp.End()
+	}()
+	return 7
+}
+
+// okTwoSpans opens two spans, each with its own deferred End.
+func okTwoSpans(ctx context.Context) {
+	ctx, outer := trace.StartSpan(ctx, "sample")
+	defer outer.End()
+	_, inner := trace.StartSpan(ctx, "candidate")
+	defer inner.End()
+	work()
+}
+
+// okInsideLiteral: a span opened inside a function literal is that
+// literal's responsibility, and it conforms there.
+func okInsideLiteral(ctx context.Context) func() {
+	return func() {
+		_, sp := trace.StartSpan(ctx, "verify")
+		defer sp.End()
+		work()
+	}
+}
+
+// okRebound uses `=` into a pre-declared span variable.
+func okRebound(ctx context.Context) {
+	var sp trace.Span
+	_, sp = trace.StartSpan(ctx, "commit")
+	defer sp.End()
+	work()
+}
+
+// okChild is the leaf-span form: StartChild binds one value, deferred End.
+func okChild(ctx context.Context) {
+	sp := trace.StartChild(ctx, "sign")
+	defer sp.End()
+	work()
+}

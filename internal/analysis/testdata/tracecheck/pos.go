@@ -1,0 +1,64 @@
+// Fixture for tracecheck: spans opened with trace.StartSpan must be bound
+// and ended via defer in the opening function. Each positive case leaks a
+// span in a different way.
+package tracecheckfix
+
+import (
+	"context"
+
+	"tokenmagic/internal/obs/trace"
+)
+
+func work() {}
+
+// badDiscarded throws the span away entirely.
+func badDiscarded(ctx context.Context) {
+	trace.StartSpan(ctx, "solve") // want "badDiscarded: span returned by trace.StartSpan is discarded"
+	work()
+}
+
+// badBlank binds the span to the blank identifier — same leak, quieter.
+func badBlank(ctx context.Context) {
+	_, _ = trace.StartSpan(ctx, "solve") // want "badBlank: span returned by trace.StartSpan is discarded"
+	work()
+}
+
+// badNoEnd binds the span but never ends it.
+func badNoEnd(ctx context.Context) context.Context {
+	ctx, sp := trace.StartSpan(ctx, "solve") // want "badNoEnd: span .sp. is not ended on every path"
+	_ = sp
+	return ctx
+}
+
+// badPlainEnd ends the span only on the fall-through path; the early return
+// skips it.
+func badPlainEnd(ctx context.Context, fail bool) {
+	_, sp := trace.StartSpan(ctx, "solve") // want "badPlainEnd: span .sp. is not ended on every path"
+	if fail {
+		return
+	}
+	sp.End()
+}
+
+// badEndInNestedScope defers End inside a nested function literal that is
+// not itself the deferred call — the literal may never run.
+func badEndInNestedScope(ctx context.Context, f func(func())) {
+	_, sp := trace.StartSpan(ctx, "solve") // want "badEndInNestedScope: span .sp. is not ended on every path"
+	f(func() { sp.End() })
+}
+
+// badChildDiscarded leaks a leaf span: StartChild returns only the span, so
+// a bare call discards it outright.
+func badChildDiscarded(ctx context.Context) {
+	trace.StartChild(ctx, "solve") // want "badChildDiscarded: span returned by trace.StartChild is discarded"
+	work()
+}
+
+// badChildNoEnd binds the child span but only ends it on the happy path.
+func badChildNoEnd(ctx context.Context, fail bool) {
+	sp := trace.StartChild(ctx, "verify") // want "badChildNoEnd: span .sp. is not ended on every path"
+	if fail {
+		return
+	}
+	sp.End()
+}

@@ -116,15 +116,17 @@ func (s *Server) UpdateLedger(fn func(*chain.Ledger) error) error {
 // Handler returns the HTTP handler implementing the protocol, wrapped with
 // per-route telemetry in the process-wide obs registry ("http.batchsvc.*")
 // and, when MaxInFlight is set, the concurrency gate
-// (in_flight/queue_depth gauges, rejected_busy counter).
+// (in_flight/queue_depth gauges, rejected_busy counter). InstrumentHTTP sits
+// outside LimitConcurrency so each request's latency histogram and trace
+// include its queue wait, and sheds are per-route.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/meta", s.handleMeta)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/rings", s.handleRings)
-	h := obs.InstrumentHTTP(obs.Default(), "batchsvc", mux,
+	h := obs.LimitConcurrency(obs.Default(), "batchsvc", s.MaxInFlight, s.MaxQueue, mux)
+	return obs.InstrumentHTTP(obs.Default(), "batchsvc", h,
 		"/v1/meta", "/v1/batch", "/v1/rings")
-	return obs.LimitConcurrency(obs.Default(), "batchsvc", s.MaxInFlight, s.MaxQueue, h)
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,6 +65,7 @@ type Node struct {
 	mempool []pendingEntry
 	// VerifySignatures can be disabled for pure selection experiments.
 	verifySigs bool
+	keys       map[chain.TokenID]*ringsig.PrivateKey
 	metrics    *obs.Registry
 }
 
@@ -92,6 +94,13 @@ type Config struct {
 	// AllowUnsigned admits submissions without signatures (selection-only
 	// experiments); key-image double-spend checking is skipped for them.
 	AllowUnsigned bool
+	// Keys, when set, holds the private key of each spendable token and
+	// enables the server-side Spend path: the node selects the ring, signs
+	// with the target's key and commits in one call. Production nodes never
+	// hold client keys — this exists for load generation and experiments,
+	// where it exercises the full sample→solve→sign→verify→commit pipeline
+	// in-process.
+	Keys map[chain.TokenID]*ringsig.PrivateKey
 }
 
 // New creates a node over a ledger.
@@ -109,6 +118,7 @@ func New(ledger *chain.Ledger, cfg Config) (*Node, error) {
 		fw:         fw,
 		images:     make(map[string]chain.RSID),
 		verifySigs: !cfg.AllowUnsigned,
+		keys:       cfg.Keys,
 		metrics:    reg,
 	}, nil
 }
@@ -135,7 +145,14 @@ func rejectReason(err error) string {
 
 // Submit validates a spend and, if acceptable, queues it for mining.
 func (n *Node) Submit(sub Submission) (Receipt, error) {
-	rcpt, err := n.submit(sub)
+	return n.SubmitCtx(context.Background(), sub)
+}
+
+// SubmitCtx is Submit with the request's trace threaded through: signature
+// verification lands in a "verify-sig" span and the Step-3 check in a
+// "verify" span. ctx carries only the trace; validation itself never blocks.
+func (n *Node) SubmitCtx(ctx context.Context, sub Submission) (Receipt, error) {
+	rcpt, err := n.submit(ctx, sub)
 	if err != nil {
 		n.metrics.Counter("node.submit.reject." + rejectReason(err)).Inc()
 	} else {
@@ -144,7 +161,7 @@ func (n *Node) Submit(sub Submission) (Receipt, error) {
 	return rcpt, err
 }
 
-func (n *Node) submit(sub Submission) (Receipt, error) {
+func (n *Node) submit(ctx context.Context, sub Submission) (Receipt, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -155,7 +172,7 @@ func (n *Node) submit(sub Submission) (Receipt, error) {
 		if len(sub.Keys) != len(sub.Tokens) {
 			return Receipt{}, ErrKeysMismatch
 		}
-		if err := ringsig.Verify(sub.Signature, sub.Keys, Message(sub.Tokens)); err != nil {
+		if err := ringsig.VerifyCtx(ctx, sub.Signature, sub.Keys, Message(sub.Tokens)); err != nil {
 			return Receipt{}, fmt.Errorf("%w: %v", ErrBadSignature, err)
 		}
 		img := string(sub.Signature.Image.Bytes())
@@ -170,7 +187,7 @@ func (n *Node) submit(sub Submission) (Receipt, error) {
 		}
 	}
 	// TokenMagic Step-3 checks against the current chain + mempool rings.
-	if err := n.fw.VerifyRS(sub.Tokens, sub.Req); err != nil {
+	if err := n.fw.VerifyRSCtx(ctx, sub.Tokens, sub.Req); err != nil {
 		return Receipt{}, err
 	}
 	// Mempool conflicts: the practical configuration must also hold among
@@ -206,6 +223,12 @@ type MinedRing struct {
 // size, which the fee already prices). Subset relations are mined before
 // their supersets so the configuration stays valid at every prefix.
 func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
+	return n.MineCtx(context.Background(), maxRings)
+}
+
+// MineCtx is Mine with the request's trace threaded through; each committed
+// ring lands in a "commit" span.
+func (n *Node) MineCtx(ctx context.Context, maxRings int) ([]MinedRing, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if maxRings <= 0 || len(n.mempool) == 0 {
@@ -232,7 +255,7 @@ func (n *Node) Mine(maxRings int) ([]MinedRing, error) {
 			leftover = append(leftover, e)
 			continue
 		}
-		id, err := n.fw.Commit(e.sub.Tokens, e.sub.Req)
+		id, err := n.fw.CommitCtx(ctx, e.sub.Tokens, e.sub.Req)
 		if err != nil {
 			// The chain moved under this entry (e.g. a mined superset made
 			// it overlap-invalid): drop it; the client resubmits.

@@ -1,0 +1,137 @@
+package node
+
+import (
+	"context"
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/ringsig"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// ErrNoSpendKeys reports a Spend on a node configured without Config.Keys.
+var ErrNoSpendKeys = errors.New("node: spend requires Config.Keys")
+
+// SpendResult describes one completed server-side spend.
+type SpendResult struct {
+	Ring   chain.TokenSet
+	RSID   chain.RSID
+	Signed bool
+}
+
+// spendReason buckets a Spend error for the node.spend.reject.* counters.
+func spendReason(err error) string {
+	switch {
+	case errors.Is(err, ErrKeyImageUsed):
+		return "double_spend"
+	case errors.Is(err, itm.ErrSpentBatch):
+		return "no_candidate"
+	case errors.Is(err, itm.ErrLiveness):
+		return "liveness"
+	case errors.Is(err, itm.ErrConfig):
+		return "config"
+	case errors.Is(err, itm.ErrDiversity):
+		return "diversity"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "other"
+	}
+}
+
+// Spend runs the paper's full client+miner pipeline inside the node: select a
+// ring for target (Algorithm 1), sign it with the target's key, verify the
+// signature, and commit under the Step-3 checks. Every stage lands in the
+// trace carried by ctx (sample, solve, sign, verify-sig, verify, commit), so
+// this is the end-to-end path the load generator drives.
+//
+// Ring selection runs outside the node mutex — concurrent Spends solve in
+// parallel and only serialise for the image check and commit. The key-image
+// double-spend check and the commit happen under one hold, so two racing
+// spends of the same token cannot both land.
+func (n *Node) Spend(ctx context.Context, target chain.TokenID, req diversity.Requirement) (SpendResult, error) {
+	res, err := n.spend(ctx, target, req)
+	if err != nil {
+		n.metrics.Counter("node.spend.reject." + spendReason(err)).Inc()
+	} else {
+		n.metrics.Counter("node.spend.accepted").Inc()
+	}
+	return res, err
+}
+
+func (n *Node) spend(ctx context.Context, target chain.TokenID, req diversity.Requirement) (SpendResult, error) {
+	if n.verifySigs && n.keys == nil {
+		return SpendResult{}, ErrNoSpendKeys
+	}
+	sel, err := n.fw.GenerateRSContext(ctx, target, req)
+	if err != nil {
+		return SpendResult{}, err
+	}
+	msg := Message(sel.Tokens)
+
+	var sig *ringsig.Signature
+	if n.keys != nil {
+		sk := n.keys[target]
+		if sk == nil {
+			return SpendResult{}, fmt.Errorf("%w: no key for token %v", ErrNoSpendKeys, target)
+		}
+		ring := make([]ringsig.Point, len(sel.Tokens))
+		signerIdx := -1
+		for i, tok := range sel.Tokens {
+			k := n.keys[tok]
+			if k == nil {
+				return SpendResult{}, fmt.Errorf("%w: no key for ring member %v", ErrNoSpendKeys, tok)
+			}
+			ring[i] = k.Public
+			if tok == target {
+				signerIdx = i
+			}
+		}
+		sig, err = ringsig.SignCtx(ctx, crand.Reader, sk, ring, signerIdx, msg)
+		if err != nil {
+			return SpendResult{}, err
+		}
+		if err := ringsig.VerifyCtx(ctx, sig, ring, msg); err != nil {
+			return SpendResult{}, fmt.Errorf("%w: %v", ErrBadSignature, err)
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var img string
+	if sig != nil {
+		img = string(sig.Image.Bytes())
+		if prior, used := n.images[img]; used {
+			return SpendResult{}, fmt.Errorf("%w (by %v)", ErrKeyImageUsed, prior)
+		}
+	}
+	id, err := n.fw.CommitCtx(ctx, sel.Tokens, req)
+	if err != nil {
+		return SpendResult{}, err
+	}
+	if sig != nil {
+		n.images[img] = id
+	}
+	return SpendResult{Ring: sel.Tokens, RSID: id, Signed: sig != nil}, nil
+}
+
+// GenerateKeys creates one keypair per ledger token from rng (nil uses
+// crypto/rand), suitable for Config.Keys on experiment and load-test nodes.
+func GenerateKeys(rng io.Reader, ledger *chain.Ledger) (map[chain.TokenID]*ringsig.PrivateKey, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	keys := make(map[chain.TokenID]*ringsig.PrivateKey, ledger.NumTokens())
+	for i := 0; i < ledger.NumTokens(); i++ {
+		sk, err := ringsig.GenerateKey(rng)
+		if err != nil {
+			return nil, err
+		}
+		keys[chain.TokenID(i)] = sk
+	}
+	return keys, nil
+}

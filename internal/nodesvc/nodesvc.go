@@ -6,10 +6,15 @@
 //
 //	POST /v1/submit   {tokens, c, l, keys, signature, fee} → {submission_id}
 //	POST /v1/mine     {max_rings}                          → [{submission_id, ring, fee}]
+//	POST /v1/spend    {target, c, l}                       → {ring, rsid, ring_size, signed}
 //	GET  /v1/status                                        → {pending, chain_rings}
 //
 // In a real deployment mining would be driven by consensus rather than an
-// endpoint; the endpoint keeps simulations and tests deterministic.
+// endpoint; the endpoint keeps simulations and tests deterministic. /v1/spend
+// runs the whole select→sign→verify→commit pipeline server-side (the node
+// must hold the token keys, node.Config.Keys) — it exists for load generation
+// (cmd/txgen), where one request exercises every pipeline stage and the
+// request trace shows the full breakdown.
 package nodesvc
 
 import (
@@ -38,6 +43,21 @@ type SubmitRequest struct {
 // SubmitResponse acknowledges an accepted submission.
 type SubmitResponse struct {
 	SubmissionID int `json:"submission_id"`
+}
+
+// SpendRequest asks the node to select, sign and commit a ring for target.
+type SpendRequest struct {
+	Target chain.TokenID `json:"target"`
+	C      float64       `json:"c"`
+	L      int           `json:"l"`
+}
+
+// SpendResponse describes the committed ring.
+type SpendResponse struct {
+	Ring     chain.TokenSet `json:"ring"`
+	RSID     chain.RSID     `json:"rsid"`
+	RingSize int            `json:"ring_size"`
+	Signed   bool           `json:"signed"`
 }
 
 // MineRequest triggers block production.
@@ -76,14 +96,17 @@ func NewServer(n *node.Node) *Server { return &Server{node: n} }
 // Handler returns the HTTP handler, wrapped with per-route telemetry in the
 // process-wide obs registry ("http.nodesvc.*") and, when MaxInFlight is set,
 // the concurrency gate (in_flight/queue_depth gauges, rejected_busy counter).
+// InstrumentHTTP sits outside LimitConcurrency so each request's latency
+// histogram and trace include its queue wait, and sheds are per-route.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/mine", s.handleMine)
+	mux.HandleFunc("/v1/spend", s.handleSpend)
 	mux.HandleFunc("/v1/status", s.handleStatus)
-	h := obs.InstrumentHTTP(obs.Default(), "nodesvc", mux,
-		"/v1/submit", "/v1/mine", "/v1/status")
-	return obs.LimitConcurrency(obs.Default(), "nodesvc", s.MaxInFlight, s.MaxQueue, h)
+	h := obs.LimitConcurrency(obs.Default(), "nodesvc", s.MaxInFlight, s.MaxQueue, mux)
+	return obs.InstrumentHTTP(obs.Default(), "nodesvc", h,
+		"/v1/submit", "/v1/mine", "/v1/spend", "/v1/status")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -96,7 +119,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rcpt, err := s.node.Submit(node.Submission{
+	rcpt, err := s.node.SubmitCtx(r.Context(), node.Submission{
 		Tokens:    req.Tokens,
 		Req:       diversity.Requirement{C: req.C, L: req.L},
 		Keys:      req.Keys,
@@ -125,7 +148,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if req.MaxRings <= 0 {
 		req.MaxRings = 100
 	}
-	mined, err := s.node.Mine(req.MaxRings)
+	mined, err := s.node.MineCtx(r.Context(), req.MaxRings)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -135,6 +158,26 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		out = append(out, MinedEntry{SubmissionID: m.SubmissionID, Ring: m.Ring, Fee: m.Fee})
 	}
 	writeJSON(w, out)
+}
+
+func (s *Server) handleSpend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SpendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.node.Spend(r.Context(), req.Target, diversity.Requirement{C: req.C, L: req.L})
+	if err != nil {
+		// Same contract as /v1/submit: deterministic validation failures
+		// (double spend, η guard, no candidate) are client errors.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, SpendResponse{Ring: res.Ring, RSID: res.RSID, RingSize: len(res.Ring), Signed: res.Signed})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +233,13 @@ func (c *Client) post(path string, body, into any) error {
 func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
 	var out SubmitResponse
 	err := c.post("/v1/submit", req, &out)
+	return out, err
+}
+
+// Spend asks the node to select, sign and commit a ring server-side.
+func (c *Client) Spend(req SpendRequest) (SpendResponse, error) {
+	var out SpendResponse
+	err := c.post("/v1/spend", req, &out)
 	return out, err
 }
 

@@ -3,8 +3,11 @@ package obs
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"tokenmagic/internal/obs/trace"
 )
 
 // statusRecorder captures the response status for metrics and logging.
@@ -58,6 +61,13 @@ func statusClass(code int) string {
 // routes, when given, is the closed set of paths tracked individually;
 // anything else is lumped under the "other" route. Each completed request is
 // also logged at Debug level through slog.Default().
+//
+// The middleware additionally roots a request trace "<service>.<route>" in
+// the default trace collector and finishes it with the response status, so
+// everything downstream (LimitConcurrency's queue-wait, the framework's
+// sample/solve/verify/commit spans) hangs off one per-request span tree.
+// Mount this OUTSIDE LimitConcurrency: then the latency histogram and the
+// trace both cover queue wait, and shed requests are counted per route.
 func InstrumentHTTP(reg *Registry, service string, next http.Handler, routes ...string) http.Handler {
 	allowed := make(map[string]bool, len(routes))
 	for _, r := range routes {
@@ -65,14 +75,20 @@ func InstrumentHTTP(reg *Registry, service string, next http.Handler, routes ...
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		route := routeLabel(r.URL.Path, allowed)
+		ctx, tr := trace.New(r.Context(), trace.Default(), service+"."+route)
+		if tr != nil {
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
 
-		prefix := "http." + service + "." + routeLabel(r.URL.Path, allowed)
+		prefix := "http." + service + "." + route
 		reg.Counter(prefix + ".requests").Inc()
 		reg.Counter(prefix + ".status_" + statusClass(rec.status)).Inc()
 		reg.Histogram(prefix+".latency_us", LatencyBucketsUS).Observe(elapsed.Microseconds())
+		tr.Finish(strconv.Itoa(rec.status))
 
 		slog.Debug("http request",
 			"service", service,

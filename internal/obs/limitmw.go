@@ -1,6 +1,10 @@
 package obs
 
-import "net/http"
+import (
+	"net/http"
+
+	"tokenmagic/internal/obs/trace"
+)
 
 // LimitConcurrency wraps next with a per-service admission gate: at most
 // maxInFlight requests execute at once, at most maxQueue more wait for a
@@ -16,6 +20,11 @@ import "net/http"
 // waiting, the slot is surrendered and 503 returned without running next.
 // maxInFlight ≤ 0 disables the gate entirely (next is returned unwrapped);
 // maxQueue ≤ 0 means no waiting room — over-capacity requests shed at once.
+//
+// Mount this INSIDE InstrumentHTTP: time spent queued then lands in a
+// "queue-wait" span of the request's trace and shed requests are annotated
+// on it, so LimitConcurrency's behaviour is attributable per request, not
+// just visible in the aggregate counters.
 func LimitConcurrency(reg *Registry, service string, maxInFlight, maxQueue int, next http.Handler) http.Handler {
 	if maxInFlight <= 0 {
 		return next
@@ -41,27 +50,21 @@ func LimitConcurrency(reg *Registry, service string, maxInFlight, maxQueue int, 
 		default:
 			// Full: try to join the waiting room.
 			if queue == nil {
-				rejected.Inc()
-				http.Error(w, "server busy", http.StatusServiceUnavailable)
+				shed(w, r, rejected, "no_queue", "server busy")
 				return
 			}
 			select {
 			case queue <- struct{}{}:
 			default:
-				rejected.Inc()
-				http.Error(w, "server busy", http.StatusServiceUnavailable)
+				shed(w, r, rejected, "queue_full", "server busy")
 				return
 			}
 			queueDepth.Add(1)
-			select {
-			case sem <- struct{}{}:
-				queueDepth.Add(-1)
-				<-queue
-			case <-r.Context().Done():
-				queueDepth.Add(-1)
-				<-queue
-				rejected.Inc()
-				http.Error(w, "client gave up while queued", http.StatusServiceUnavailable)
+			ok := waitForSlot(r, sem)
+			queueDepth.Add(-1)
+			<-queue
+			if !ok {
+				shed(w, r, rejected, "cancelled_while_queued", "client gave up while queued")
 				return
 			}
 		}
@@ -72,4 +75,26 @@ func LimitConcurrency(reg *Registry, service string, maxInFlight, maxQueue int, 
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// waitForSlot blocks a queued request until an execution slot frees or the
+// client's context dies, accounting the wait as a "queue-wait" span of the
+// request's trace.
+func waitForSlot(r *http.Request, sem chan struct{}) bool {
+	sp := trace.StartChild(r.Context(), "queue-wait")
+	defer sp.End()
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		sp.Annotate("outcome", "cancelled")
+		return false
+	}
+}
+
+// shed rejects r with 503, marking the request's trace with the reason.
+func shed(w http.ResponseWriter, r *http.Request, rejected *Counter, reason, msg string) {
+	trace.FromContext(r.Context()).Annotate("shed", reason)
+	rejected.Inc()
+	http.Error(w, msg, http.StatusServiceUnavailable)
 }

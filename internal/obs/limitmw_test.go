@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingHandler runs until released, reporting how many requests ever
+// entered it and how many are inside right now.
+type blockingHandler struct {
+	entered atomic.Int64
+	inside  atomic.Int64
+	release chan struct{}
+}
+
+func newBlockingHandler() *blockingHandler {
+	return &blockingHandler{release: make(chan struct{})}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.entered.Add(1)
+	h.inside.Add(1)
+	defer h.inside.Add(-1)
+	<-h.release
+	w.WriteHeader(http.StatusOK)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLimitConcurrencyDisabledPassesThrough(t *testing.T) {
+	r := NewRegistry()
+	inner := newBlockingHandler()
+	if got := LimitConcurrency(r, "svc", 0, 5, inner); got != http.Handler(inner) {
+		t.Fatal("maxInFlight<=0 should return next unwrapped")
+	}
+}
+
+func TestLimitConcurrencyShedsWithoutQueue(t *testing.T) {
+	reg := NewRegistry()
+	h := newBlockingHandler()
+	defer close(h.release)
+	lim := LimitConcurrency(reg, "svc", 1, 0, h)
+
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		done <- rec.Code
+	}()
+	waitFor(t, "first request to occupy the slot", func() bool { return h.inside.Load() == 1 })
+
+	rec := httptest.NewRecorder()
+	lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity status = %d, want 503", rec.Code)
+	}
+	if got := reg.Counter("http.svc.rejected_busy").Value(); got != 1 {
+		t.Fatalf("rejected_busy = %d, want 1", got)
+	}
+	h.release <- struct{}{}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("occupying request status = %d, want 200", code)
+	}
+}
+
+func TestLimitConcurrencyQueueFullOrdering(t *testing.T) {
+	reg := NewRegistry()
+	h := newBlockingHandler()
+	lim := LimitConcurrency(reg, "svc", 1, 1, h)
+	queueDepth := reg.Gauge("http.svc.queue_depth")
+
+	// First request takes the slot, second the single queue seat.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rec := httptest.NewRecorder()
+			lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			results <- rec.Code
+		}()
+		if i == 0 {
+			waitFor(t, "slot occupied", func() bool { return h.inside.Load() == 1 })
+		} else {
+			waitFor(t, "queue seat occupied", func() bool { return queueDepth.Value() == 1 })
+		}
+	}
+
+	// Third request finds slot and queue both full: shed synchronously with
+	// 503 before the queued request has been admitted.
+	rec := httptest.NewRecorder()
+	lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full status = %d, want 503", rec.Code)
+	}
+	if h.entered.Load() != 1 {
+		t.Fatalf("shed request must not reach the handler (entered=%d)", h.entered.Load())
+	}
+	if got := reg.Counter("http.svc.rejected_busy").Value(); got != 1 {
+		t.Fatalf("rejected_busy = %d, want 1", got)
+	}
+
+	// Release both admitted requests; the queued one gets the slot.
+	h.release <- struct{}{}
+	h.release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted request status = %d, want 200", code)
+		}
+	}
+	if h.entered.Load() != 2 {
+		t.Fatalf("entered = %d, want 2", h.entered.Load())
+	}
+	if queueDepth.Value() != 0 {
+		t.Fatalf("queue_depth = %d after drain, want 0", queueDepth.Value())
+	}
+}
+
+func TestLimitConcurrencyCancelWhileQueued(t *testing.T) {
+	reg := NewRegistry()
+	h := newBlockingHandler()
+	lim := LimitConcurrency(reg, "svc", 1, 4, h)
+	queueDepth := reg.Gauge("http.svc.queue_depth")
+
+	occupied := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		occupied <- rec.Code
+	}()
+	waitFor(t, "slot occupied", func() bool { return h.inside.Load() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedDone := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil).WithContext(ctx))
+		queuedDone <- rec.Code
+	}()
+	waitFor(t, "request queued", func() bool { return queueDepth.Value() == 1 })
+
+	// Client gives up while waiting: 503, no handler invocation, queue seat
+	// surrendered.
+	cancel()
+	if code := <-queuedDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled-while-queued status = %d, want 503", code)
+	}
+	if h.entered.Load() != 1 {
+		t.Fatalf("cancelled request must not run the handler (entered=%d)", h.entered.Load())
+	}
+	if got := reg.Counter("http.svc.rejected_busy").Value(); got != 1 {
+		t.Fatalf("rejected_busy = %d, want 1", got)
+	}
+	if queueDepth.Value() != 0 {
+		t.Fatalf("queue_depth = %d after cancel, want 0", queueDepth.Value())
+	}
+
+	// The surrendered queue seat is reusable: a fresh request queues then runs.
+	lateDone := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		lateDone <- rec.Code
+	}()
+	waitFor(t, "late request queued", func() bool { return queueDepth.Value() == 1 })
+	h.release <- struct{}{}
+	h.release <- struct{}{}
+	if code := <-occupied; code != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", code)
+	}
+	if code := <-lateDone; code != http.StatusOK {
+		t.Fatalf("late request status = %d, want 200", code)
+	}
+}
+
+func TestLimitConcurrencyGaugesConsistentUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	var peak atomic.Int64
+	const maxInFlight, maxQueue, clients = 4, 8, 64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Track the true concurrency the gate allowed through.
+		n := peak.Load()
+		cur := reg.Gauge("http.load.in_flight").Value()
+		for cur > n && !peak.CompareAndSwap(n, cur) {
+			n = peak.Load()
+		}
+		time.Sleep(time.Millisecond)
+		w.WriteHeader(200)
+	})
+	lim := LimitConcurrency(reg, "load", maxInFlight, maxQueue, inner)
+
+	var wg sync.WaitGroup
+	var ok, shed atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			lim.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			switch rec.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ok.Load() + shed.Load(); got != clients {
+		t.Fatalf("accounted %d of %d requests", got, clients)
+	}
+	if shed.Load() != reg.Counter("http.load.rejected_busy").Value() {
+		t.Fatalf("shed responses (%d) != rejected_busy counter (%d)",
+			shed.Load(), reg.Counter("http.load.rejected_busy").Value())
+	}
+	if p := peak.Load(); p > maxInFlight {
+		t.Fatalf("observed %d concurrent handlers, cap is %d", p, maxInFlight)
+	}
+	// After the burst drains both gauges must return to zero.
+	if v := reg.Gauge("http.load.in_flight").Value(); v != 0 {
+		t.Fatalf("in_flight = %d after drain, want 0", v)
+	}
+	if v := reg.Gauge("http.load.queue_depth").Value(); v != 0 {
+		t.Fatalf("queue_depth = %d after drain, want 0", v)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tokenmagic/internal/obs/trace"
 )
 
 // Counter is a monotonically increasing metric.
@@ -125,9 +127,13 @@ func (s HistogramSnapshot) Mean() float64 {
 // by linear interpolation inside the containing bucket. Values that landed in
 // the +Inf bucket are clamped to that bucket's lower bound, so tail quantiles
 // are lower bounds when observations exceeded the largest bound. Returns 0
-// for an empty histogram.
+// for an empty histogram, for a snapshot with no buckets (a zero value or a
+// partially decoded one), and for NaN q; q outside [0, 1] is clamped.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q != q { // NaN: no defensible rank, treat like the empty case
 		return 0
 	}
 	if q < 0 {
@@ -266,9 +272,10 @@ func (r *Registry) Snapshot() Snapshot {
 //
 //	counter node.submit.accepted 3
 //	gauge node.mempool.pending 0
-//	histogram selector.TM_P.latency_us count=6 sum=4521 mean=753.50 le250:2 le500:4 ...
+//	histogram selector.TM_P.latency_us count=6 sum=4521 mean=753.50 p50=312 p99=498 le250:2 le500:4 ...
 //
-// Histogram bucket fields are non-cumulative; only non-empty buckets print.
+// p50/p99 are Quantile estimates (interpolated within buckets). Histogram
+// bucket fields are non-cumulative; only non-empty buckets print.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	var lines []string
@@ -279,7 +286,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("gauge %s %d", name, v))
 	}
 	for name, h := range s.Histograms {
-		line := fmt.Sprintf("histogram %s count=%d sum=%d mean=%.2f", name, h.Count, h.Sum, h.Mean())
+		line := fmt.Sprintf("histogram %s count=%d sum=%d mean=%.2f p50=%.0f p99=%.0f",
+			name, h.Count, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
 		for _, b := range h.Buckets {
 			if b.Count == 0 {
 				continue
@@ -321,7 +329,8 @@ func PublishExpvar(reg *Registry) {
 }
 
 // OperatorMux assembles the operator-port telemetry mux: /debug/vars
-// (expvar JSON including the registry), /debug/metrics (plain-text dump)
+// (expvar JSON including the registry), /debug/metrics (plain-text dump),
+// /debug/traces (recent and slowest request traces with span trees, JSON)
 // and, when withPprof is set, the net/http/pprof handlers under
 // /debug/pprof/. Mount it on a port separate from the public protocol port;
 // it is not meant to be reachable by untrusted clients.
@@ -330,6 +339,7 @@ func OperatorMux(reg *Registry, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/metrics", reg.Handler())
+	mux.Handle("/debug/traces", trace.Default().Handler())
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -60,6 +60,48 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// Shorthand: a snapshot with the given (le, count) buckets and derived
+	// Count. Sum is irrelevant to Quantile.
+	snap := func(buckets ...Bucket) HistogramSnapshot {
+		s := HistogramSnapshot{Buckets: buckets}
+		for _, b := range buckets {
+			s.Count += b.Count
+		}
+		return s
+	}
+	nan := func() float64 { var z float64; return z / z }()
+
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty histogram", snap(Bucket{100, 0}, Bucket{-1, 0}), 0.5, 0},
+		{"zero value snapshot", HistogramSnapshot{}, 0.5, 0},
+		{"no buckets but nonzero count", HistogramSnapshot{Count: 5}, 0.5, 0},
+		{"NaN q", snap(Bucket{100, 4}, Bucket{-1, 0}), nan, 0},
+		{"q below zero clamps to min", snap(Bucket{100, 4}, Bucket{-1, 0}), -3, 0},
+		{"q above one clamps to max bound", snap(Bucket{100, 4}, Bucket{-1, 0}), 7, 100},
+		{"q zero is the lower edge", snap(Bucket{100, 4}, Bucket{-1, 0}), 0, 0},
+		{"q one is the containing bound", snap(Bucket{100, 4}, Bucket{-1, 0}), 1, 100},
+		{"single bucket interpolates", snap(Bucket{100, 1}, Bucket{-1, 0}), 0.5, 50},
+		{"all mass in +Inf clamps to last bound", snap(Bucket{100, 0}, Bucket{-1, 3}), 0.99, 100},
+		{"only a +Inf bucket returns zero", snap(Bucket{-1, 3}), 0.5, 0},
+		{"median across two buckets", snap(Bucket{10, 2}, Bucket{20, 2}, Bucket{-1, 0}), 0.5, 10},
+		{"p75 inside second bucket", snap(Bucket{10, 2}, Bucket{20, 2}, Bucket{-1, 0}), 0.75, 15},
+		{"skips empty leading bucket", snap(Bucket{10, 0}, Bucket{20, 4}, Bucket{-1, 0}), 0.5, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestSnapshotIsolation(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c")
@@ -131,7 +173,7 @@ func TestTextDump(t *testing.T) {
 	for _, want := range []string{
 		"counter z.count 2\n",
 		"gauge a.gauge -1\n",
-		"histogram m.h count=1 sum=50 mean=50.00 le100:1\n",
+		"histogram m.h count=1 sum=50 mean=50.00 p50=50 p99=99 le100:1\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("dump missing %q:\n%s", want, out)

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkSpanPair(b *testing.B) {
+	c := NewCollector()
+	ctx, tr := New(context.Background(), c, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 { // keep the trace from hitting the span budget
+			tr.Finish("ok")
+			ctx, tr = New(context.Background(), c, "bench")
+		}
+		cctx, sp := StartSpan(ctx, "candidate")
+		sp.AnnotateInt("worker", 3)
+		sp2 := StartChild(cctx, "solve")
+		sp2.Annotate("solver", "TM_P")
+		sp2.AnnotateInt("ring_size", 12)
+		sp2.End()
+		sp.End()
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"tokenmagic/internal/obs/trace"
+)
+
+// obs sits above trace in the import graph: trace produces span durations,
+// obs owns the histograms that summarise them. This file is the one place
+// the two layers meet.
+
+func init() {
+	// Feed every ended span of the default collector into the default
+	// registry, so per-stage latency gets p50/p99 through the ordinary
+	// metrics path (/debug/metrics, expvar) next to the raw span trees on
+	// /debug/traces.
+	WireTraceStages(trace.Default(), Default())
+}
+
+// WireTraceStages points the collector's stage observers at reg: each ended
+// span of name <stage> lands in the "trace.stage.<stage>.latency_us"
+// histogram. The factory runs once per stage name and the collector caches
+// the returned Observe on the stage's aggregate, so the per-span path is a
+// direct histogram call with no name concatenation or registry lookup — it
+// runs once per span, λ or more times per request.
+func WireTraceStages(c *trace.Collector, reg *Registry) {
+	c.SetStageObserver(func(name string) func(durUS int64) {
+		return reg.Histogram("trace.stage."+name+".latency_us", LatencyBucketsUS).Observe
+	})
+}

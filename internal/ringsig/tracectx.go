@@ -1,0 +1,39 @@
+package ringsig
+
+import (
+	"context"
+	"io"
+
+	"tokenmagic/internal/obs/trace"
+)
+
+// Context-aware wrappers: the crypto itself neither blocks nor cancels, so
+// ctx only carries the request's trace — signing and verification land in
+// "sign"/"verify" spans with the ring size, making the crypto share of a
+// spend's latency visible next to the solver stages.
+
+// SignCtx is Sign recorded as a "sign" span of the trace in ctx.
+func SignCtx(ctx context.Context, rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg []byte) (*Signature, error) {
+	sp := trace.StartChild(ctx, "sign")
+	defer sp.End()
+	sp.AnnotateInt("ring_size", int64(len(ring)))
+	sig, err := Sign(rng, sk, ring, signerIdx, msg)
+	if err != nil {
+		sp.Annotate("outcome", "error")
+	}
+	return sig, err
+}
+
+// VerifyCtx is Verify recorded as a "verify-sig" span of the trace in ctx.
+// The span name is distinct from the framework's Step-3 "verify" stage so
+// the two checks stay separable in the per-stage aggregates.
+func VerifyCtx(ctx context.Context, sig *Signature, ring []Point, msg []byte) error {
+	sp := trace.StartChild(ctx, "verify-sig")
+	defer sp.End()
+	sp.AnnotateInt("ring_size", int64(len(ring)))
+	err := Verify(sig, ring, msg)
+	if err != nil {
+		sp.Annotate("outcome", "invalid")
+	}
+	return err
+}

@@ -3,6 +3,8 @@ package selector
 import (
 	"context"
 	"math/rand"
+
+	"tokenmagic/internal/obs/trace"
 )
 
 // Smallest is the paper's TM_S baseline: repeatedly add the module with the
@@ -16,6 +18,12 @@ func Smallest(p *Problem) (Result, error) {
 // greedy step.
 func SmallestCtx(ctx context.Context, p *Problem) (res Result, err error) {
 	defer solveObs("TM_S")(&res, &err)
+	sp := trace.StartChild(ctx, "solve")
+	sp.Annotate("solver", "TM_S")
+	defer func() {
+		sp.AnnotateInt("ring_size", int64(res.Size()))
+		sp.End()
+	}()
 	st := newState(p)
 	for !st.hist.Satisfies(p.Req) {
 		if cancelled(ctx) {
@@ -51,6 +59,12 @@ func Random(p *Problem, rng *rand.Rand) (Result, error) {
 // cancellation timing: a cancelled solve simply stops drawing.
 func RandomCtx(ctx context.Context, p *Problem, rng *rand.Rand) (res Result, err error) {
 	defer solveObs("TM_R")(&res, &err)
+	sp := trace.StartChild(ctx, "solve")
+	sp.Annotate("solver", "TM_R")
+	defer func() {
+		sp.AnnotateInt("ring_size", int64(res.Size()))
+		sp.End()
+	}()
 	st := newState(p)
 	var unselected []int
 	for i := range p.Candidates {

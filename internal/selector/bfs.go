@@ -8,6 +8,7 @@ import (
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
 	"tokenmagic/internal/dtrs"
+	"tokenmagic/internal/obs/trace"
 	"tokenmagic/internal/rsgraph"
 )
 
@@ -47,6 +48,12 @@ func BFS(p *ExactProblem) (Result, error) {
 // exponential inner loop abandons promptly.
 func BFSCtx(ctx context.Context, p *ExactProblem) (res Result, err error) {
 	defer solveObs("TM_B")(&res, &err)
+	sp := trace.StartChild(ctx, "solve")
+	sp.Annotate("solver", "TM_B")
+	defer func() {
+		sp.AnnotateInt("ring_size", int64(res.Size()))
+		sp.End()
+	}()
 	if err := p.Req.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"sort"
+
+	"tokenmagic/internal/obs/trace"
 )
 
 // sortBySizeAsc orders player indices by module size, smallest first, with
@@ -32,6 +34,12 @@ func Game(p *Problem) (Result, error) {
 // best-response sweep (each sweep visits every player).
 func GameCtx(ctx context.Context, p *Problem) (res Result, err error) {
 	defer solveObs("TM_G")(&res, &err)
+	sp := trace.StartChild(ctx, "solve")
+	sp.Annotate("solver", "TM_G")
+	defer func() {
+		sp.AnnotateInt("ring_size", int64(res.Size()))
+		sp.End()
+	}()
 	st := newState(p)
 	if !st.hist.Satisfies(p.Req) {
 		if err := st.coverHTPhase(ctx); err != nil {

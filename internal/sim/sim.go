@@ -15,6 +15,7 @@ import (
 	"tokenmagic/internal/adversary"
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/obs"
 	itm "tokenmagic/internal/tokenmagic"
 	"tokenmagic/internal/workload"
 )
@@ -87,6 +88,10 @@ type Result struct {
 	// run used (one per algorithm): solver dispatches, decomposition-cache
 	// hit rate, and Step-3 admit/reject classification.
 	Framework itm.Stats
+	// SolveLatencyUS holds each algorithm's solve-latency histogram
+	// ("TM_P" → snapshot), recorded in a registry private to this run, so
+	// p50/p99 reflect exactly these spends and not the process lifetime.
+	SolveLatencyUS map[string]obs.HistogramSnapshot
 }
 
 // Errors from configuration validation.
@@ -128,7 +133,10 @@ func Run(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	origin := d.Origin()
 
-	// One shared framework per algorithm keeps the η bookkeeping common.
+	// One shared framework per algorithm keeps the η bookkeeping common. All
+	// frameworks report into one run-private registry so the latency
+	// snapshots below cover exactly this run.
+	reg := obs.NewRegistry()
 	frameworks := make(map[itm.Algorithm]*itm.Framework)
 	fwFor := func(a itm.Algorithm) (*itm.Framework, error) {
 		if f, ok := frameworks[a]; ok {
@@ -140,6 +148,7 @@ func Run(cfg Config) (*Result, error) {
 			Headroom:    true,
 			Algorithm:   a,
 			Parallelism: cfg.Parallelism,
+			Metrics:     reg,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -233,6 +242,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, f := range frameworks {
 		res.Framework = res.Framework.Add(f.Stats())
+	}
+	res.SolveLatencyUS = make(map[string]obs.HistogramSnapshot, len(frameworks))
+	snap := reg.Snapshot()
+	for a := range frameworks {
+		if h, ok := snap.Histograms["framework.solve."+a.String()+".latency_us"]; ok && h.Count > 0 {
+			res.SolveLatencyUS[a.String()] = h
+		}
 	}
 	return res, nil
 }

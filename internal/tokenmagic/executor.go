@@ -30,6 +30,7 @@ import (
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/obs/trace"
 	"tokenmagic/internal/selector"
 )
 
@@ -112,6 +113,36 @@ func (f *Framework) solveCandidate(ctx context.Context, tok, target chain.TokenI
 	return res, true
 }
 
+// solveCandidateSpan wraps one candidate solve in a "candidate" span of the
+// request's trace, recording which worker ran it and the ring size it found.
+// The executor stays trace-agnostic below this point: with no trace in ctx
+// the span is a no-op and the only cost is one context lookup.
+func (f *Framework) solveCandidateSpan(ctx context.Context, worker int, tok, target chain.TokenID, req diversity.Requirement, seed int64, idx int) (selector.Result, bool) {
+	ctx, sp := trace.StartSpan(ctx, "candidate")
+	defer sp.End()
+	sp.AnnotateInt("worker", int64(worker))
+	res, ok := f.solveCandidate(ctx, tok, target, req, seed, idx)
+	if ok {
+		sp.AnnotateInt("ring_size", int64(res.Size()))
+	}
+	return res, ok
+}
+
+// sampleCandidatesTraced wraps the candidate sweep in a "sample" span carrying
+// the request seed and the universe/candidate counts — the per-request view of
+// Algorithm 1 lines 2–6.
+func (f *Framework) sampleCandidatesTraced(ctx context.Context, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, seed int64) ([]selector.Result, error) {
+	ctx, sp := trace.StartSpan(ctx, "sample")
+	defer sp.End()
+	// The seed is per-request context, kept at trace level so the span's
+	// fixed annotation slots stay within budget.
+	trace.FromContext(ctx).AnnotateInt("seed", seed)
+	sp.AnnotateInt("universe", int64(len(universe)))
+	candidates, err := f.sampleCandidates(ctx, universe, target, req, seed)
+	sp.AnnotateInt("candidates", int64(len(candidates)))
+	return candidates, err
+}
+
 // sampleCandidates runs Algorithm 1 lines 2–6: one solve per batch token,
 // keeping the candidates that contain the consuming token, merged in batch
 // token order. With one worker it runs in-place; otherwise the solves fan
@@ -135,7 +166,7 @@ func (f *Framework) sampleCandidates(ctx context.Context, universe chain.TokenSe
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if res, ok := f.solveCandidate(ctx, universe[i], target, req, seed, i); ok {
+			if res, ok := f.solveCandidateSpan(ctx, 0, universe[i], target, req, seed, i); ok {
 				results[i], states[i] = res, candSat
 				sat++
 				if f.cfg.StopAfter > 0 && sat >= f.cfg.StopAfter {
@@ -191,7 +222,7 @@ func (f *Framework) sampleCandidates(ctx context.Context, universe chain.TokenSe
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				res, ok := f.solveCandidate(cctx, universe[i], target, req, seed, i)
+				res, ok := f.solveCandidateSpan(cctx, w, universe[i], target, req, seed, i)
 				finish(i, res, ok)
 			}
 		}()

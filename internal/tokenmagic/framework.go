@@ -33,6 +33,7 @@ import (
 	"tokenmagic/internal/diversity"
 	"tokenmagic/internal/dtrs"
 	"tokenmagic/internal/obs"
+	"tokenmagic/internal/obs/trace"
 	"tokenmagic/internal/selector"
 )
 
@@ -601,7 +602,7 @@ func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, 
 	if err != nil {
 		return selector.Result{}, err
 	}
-	candidates, err := f.sampleCandidates(ctx, universe, target, req, seed)
+	candidates, err := f.sampleCandidatesTraced(ctx, universe, target, req, seed)
 	if err != nil {
 		return selector.Result{}, err
 	}
@@ -618,9 +619,21 @@ func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, 
 // append happen under one exclusive hold, so two racing Commits cannot both
 // verify against the old ledger and then both land (check-then-act).
 func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (chain.RSID, error) {
+	return f.CommitCtx(context.Background(), tokens, req)
+}
+
+// CommitCtx is Commit with the request's trace threaded through: the whole
+// exclusive section lands in a "commit" span, with the embedded Step-3 check
+// as a child "verify" span. ctx carries only the trace — commit itself never
+// aborts on cancellation (a half-applied append would corrupt the guard
+// state).
+func (f *Framework) CommitCtx(ctx context.Context, tokens chain.TokenSet, req diversity.Requirement) (chain.RSID, error) {
+	ctx, sp := trace.StartSpan(ctx, "commit")
+	defer sp.End()
+	sp.AnnotateInt("ring_size", int64(len(tokens)))
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if err := f.verifyAndCount(tokens, req); err != nil {
+	if err := f.verifyAndCount(ctx, tokens, req); err != nil {
 		return -1, err
 	}
 	id, err := f.ledger.AppendRS(tokens, req.C, req.L)
@@ -646,29 +659,44 @@ func (f *Framework) Commit(tokens chain.TokenSet, req diversity.Requirement) (ch
 // closed-form DTRS diversity, and the η liveness guard. Safe for concurrent
 // use; it shares mu's read side with GenerateRS.
 func (f *Framework) VerifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
+	return f.VerifyRSCtx(context.Background(), tokens, req)
+}
+
+// VerifyRSCtx is VerifyRS with the request's trace threaded through; the
+// check lands in a "verify" span annotated with the verdict.
+func (f *Framework) VerifyRSCtx(ctx context.Context, tokens chain.TokenSet, req diversity.Requirement) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.verifyAndCount(tokens, req)
+	return f.verifyAndCount(ctx, tokens, req)
 }
 
 // verifyAndCount classifies verifyRS's outcome into the admit/reject
-// counters. Callers hold mu (either side).
-func (f *Framework) verifyAndCount(tokens chain.TokenSet, req diversity.Requirement) error {
+// counters and a "verify" span of the request's trace (verdict "admit", or
+// the reject class — "liveness" is the η guard). Callers hold mu (either
+// side).
+func (f *Framework) verifyAndCount(ctx context.Context, tokens chain.TokenSet, req diversity.Requirement) error {
+	sp := trace.StartChild(ctx, "verify")
+	defer sp.End()
 	err := f.verifyRS(tokens, req)
 	switch {
 	case err == nil:
+		sp.Annotate("verdict", "admit")
 		f.stats.admits.Add(1)
 		f.metrics.admits.Inc()
 	case errors.Is(err, ErrLiveness):
+		sp.Annotate("verdict", "liveness")
 		f.stats.rejLiveness.Add(1)
 		f.metrics.rejLiveness.Inc()
 	case errors.Is(err, ErrConfig):
+		sp.Annotate("verdict", "config")
 		f.stats.rejConfig.Add(1)
 		f.metrics.rejConfig.Inc()
 	case errors.Is(err, ErrDiversity):
+		sp.Annotate("verdict", "diversity")
 		f.stats.rejDiversity.Add(1)
 		f.metrics.rejDiversity.Inc()
 	default:
+		sp.Annotate("verdict", "other")
 		f.stats.rejOther.Add(1)
 		f.metrics.rejOther.Inc()
 	}

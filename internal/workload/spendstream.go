@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokenmagic/internal/chain"
+)
+
+// SpendStream yields the sequence of spend targets a load generator drives at
+// a node: which token each simulated user tries to consume next. Streams are
+// deterministic per seed, so a load run replays exactly.
+//
+// Two population spend patterns:
+//
+//   - "uniform": a seeded permutation of the population, each token spent at
+//     most once (sampling without replacement). Every request is a fresh
+//     double-spend-free target; the stream ends when the population is
+//     exhausted.
+//   - "zipf": tokens drawn with replacement from a Zipf distribution over the
+//     population, modelling hot wallets. Repeats are intentional — the node
+//     rejects the duplicate key image, so this pattern exercises the
+//     double-spend path under load.
+type SpendStream struct {
+	tokens []chain.TokenID
+	next   int
+	zipf   *rand.Zipf
+}
+
+// SpendPatterns lists the accepted NewSpendStream pattern names.
+var SpendPatterns = []string{"uniform", "zipf"}
+
+// NewSpendStream builds a spend-target stream over population (the tokens the
+// generator may spend), with the given pattern and seed.
+func NewSpendStream(pattern string, population chain.TokenSet, seed int64) (*SpendStream, error) {
+	if len(population) == 0 {
+		return nil, fmt.Errorf("%w: empty spend population", ErrBadParams)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &SpendStream{tokens: append([]chain.TokenID(nil), population...)}
+	switch pattern {
+	case "uniform":
+		rng.Shuffle(len(s.tokens), func(i, j int) {
+			s.tokens[i], s.tokens[j] = s.tokens[j], s.tokens[i]
+		})
+	case "zipf":
+		// s=1.1, v=1: a mild hot-wallet skew; the heaviest token draws a few
+		// percent of the traffic at Monero-scale populations.
+		s.zipf = rand.NewZipf(rng, 1.1, 1, uint64(len(s.tokens)-1))
+	default:
+		return nil, fmt.Errorf("%w: unknown spend pattern %q (have %v)", ErrBadParams, pattern, SpendPatterns)
+	}
+	return s, nil
+}
+
+// Next returns the next spend target. ok is false when the stream is
+// exhausted ("uniform" after one pass; "zipf" never ends).
+func (s *SpendStream) Next() (chain.TokenID, bool) {
+	if s.zipf != nil {
+		return s.tokens[s.zipf.Uint64()], true
+	}
+	if s.next >= len(s.tokens) {
+		return chain.NoToken, false
+	}
+	t := s.tokens[s.next]
+	s.next++
+	return t, true
+}
+
+// Remaining reports how many targets a "uniform" stream still holds
+// (-1 for the unbounded "zipf" stream).
+func (s *SpendStream) Remaining() int {
+	if s.zipf != nil {
+		return -1
+	}
+	return len(s.tokens) - s.next
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"tokenmagic/internal/chain"
+)
+
+func population(n int) chain.TokenSet {
+	toks := make([]chain.TokenID, n)
+	for i := range toks {
+		toks[i] = chain.TokenID(i)
+	}
+	return chain.NewTokenSet(toks...)
+}
+
+func TestSpendStreamUniformPermutation(t *testing.T) {
+	pop := population(50)
+	s, err := NewSpendStream("uniform", pop, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[chain.TokenID]bool)
+	for i := 0; i < 50; i++ {
+		if got := s.Remaining(); got != 50-i {
+			t.Fatalf("Remaining = %d at step %d", got, i)
+		}
+		tok, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream exhausted early at %d", i)
+		}
+		if seen[tok] {
+			t.Fatalf("token %v drawn twice", tok)
+		}
+		if !pop.Contains(tok) {
+			t.Fatalf("token %v outside population", tok)
+		}
+		seen[tok] = true
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("uniform stream should exhaust after one pass")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", s.Remaining())
+	}
+}
+
+func TestSpendStreamDeterministicPerSeed(t *testing.T) {
+	for _, pattern := range SpendPatterns {
+		a, err := NewSpendStream(pattern, population(30), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSpendStream(pattern, population(30), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			ta, _ := a.Next()
+			tb, _ := b.Next()
+			if ta != tb {
+				t.Fatalf("%s: draw %d diverged: %v vs %v", pattern, i, ta, tb)
+			}
+		}
+	}
+}
+
+func TestSpendStreamZipfRepeatsAndUnbounded(t *testing.T) {
+	s, err := NewSpendStream("zipf", population(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining() != -1 {
+		t.Fatalf("zipf Remaining = %d, want -1", s.Remaining())
+	}
+	seen := make(map[chain.TokenID]int)
+	for i := 0; i < 200; i++ {
+		tok, ok := s.Next()
+		if !ok {
+			t.Fatal("zipf stream must never exhaust")
+		}
+		seen[tok]++
+	}
+	repeats := 0
+	for _, n := range seen {
+		if n > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("200 zipf draws over 10 tokens produced no repeats")
+	}
+}
+
+func TestSpendStreamValidation(t *testing.T) {
+	if _, err := NewSpendStream("uniform", nil, 1); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := NewSpendStream("bogus", population(5), 1); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
