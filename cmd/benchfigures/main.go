@@ -35,6 +35,7 @@ func main() {
 		maxBFS    = flag.Int("max-bfs", 4, "rings to generate in the Figure-4 exact run")
 		benchOut  = flag.String("bench-solver", "", "run solver hot-path microbenchmarks and write BENCH_solver.json to this path")
 		parOut    = flag.String("bench-parallel", "", "run the sequential-vs-parallel GenerateRS sweep and write BENCH_parallel.json to this path")
+		rsOut     = flag.String("bench-ringsig", "", "run the ring-signature kernel vs stock sweep and write BENCH_ringsig.json to this path")
 	)
 	flag.Parse()
 
@@ -44,6 +45,10 @@ func main() {
 	}
 	if *parOut != "" {
 		runParallelBench(*parOut)
+		return
+	}
+	if *rsOut != "" {
+		runRingsigBench(*rsOut)
 		return
 	}
 
@@ -123,6 +128,29 @@ func runParallelBench(path string) {
 	for _, p := range rep.Points {
 		fmt.Printf("  %-8d %-8d %14.0f %12.2f %9.2fx\n",
 			p.Lambda, p.Workers, p.NsPerOp, p.OpsPerSec, p.SpeedupVs1Worker)
+	}
+	fmt.Println("wrote", path)
+}
+
+func runRingsigBench(path string) {
+	fmt.Println("Ring-signature kernel sweep (equivalence check, then ring × batch × workers grid)…")
+	rep, err := bench.RingsigBenchmarks()
+	fail(err)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	data = append(data, '\n')
+	fail(os.WriteFile(path, data, 0o644))
+	fmt.Printf("  gomaxprocs=%d num_cpu=%d equivalence_checked=%v\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.EquivalenceChecked)
+	fmt.Printf("  %-24s %-5s %-6s %-8s %14s %12s %9s\n",
+		"arm", "ring", "batch", "workers", "ns/op", "sigs/sec", "speedup")
+	for _, p := range rep.Single {
+		fmt.Printf("  %-24s %-5d %-6s %-8s %14.0f %12.1f %8.2fx\n",
+			p.Arm, p.Ring, "-", "-", p.NsPerOp, p.SigsPerSec, p.SpeedupVsStock)
+	}
+	for _, p := range rep.BatchArms {
+		fmt.Printf("  %-24s %-5d %-6d %-8d %14.0f %12.1f %8.2fx\n",
+			p.Arm, p.Ring, p.Batch, p.Workers, p.NsPerOp, p.SigsPerSec, p.SpeedupVsStock)
 	}
 	fmt.Println("wrote", path)
 }

@@ -61,7 +61,7 @@ func newFullNode(led *chain.Ledger, lambda int, eta float64, allowUnsigned, spen
 	for _, route := range []string{"/v1/meta", "/v1/batch", "/v1/rings"} {
 		mux.Handle(route, bh)
 	}
-	for _, route := range []string{"/v1/submit", "/v1/mine", "/v1/spend", "/v1/status"} {
+	for _, route := range []string{"/v1/submit", "/v1/mine", "/v1/spend", "/v1/verify", "/v1/status"} {
 		mux.Handle(route, nh)
 	}
 	return &fullNode{batch: bs, node: nd, handler: mux}, nil

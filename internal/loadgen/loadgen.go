@@ -98,6 +98,14 @@ type Result struct {
 	Concurrency int     `json:"concurrency"`
 
 	MeasureSeconds float64 `json:"measure_seconds"`
+	// OverrunSeconds is wall time spent past the configured window draining
+	// requests that were already in flight at the deadline. Closed-loop
+	// workers only start requests before the deadline, but a request started
+	// at deadline−ε still runs to completion; its result is attributed to
+	// the window (it was admitted by the window's load), while the drain
+	// time is reported here instead of silently inflating MeasureSeconds —
+	// which used to understate throughput by up to 2× under slow backends.
+	OverrunSeconds float64 `json:"overrun_seconds,omitempty"`
 	Sent           int64   `json:"sent"`
 	OK             int64   `json:"ok"`
 	Shed           int64   `json:"shed"`     // 503: admission gate
@@ -265,14 +273,27 @@ func Run(cfg Config) (Result, error) {
 		runOpenLoop(cfg, deadline, ctrs, fire)
 	}
 
+	// Denominator discipline: the measured window is the configured duration,
+	// not "warmup end until the last straggler returned". wg.Wait() returns
+	// only after every in-flight request drains, so the raw elapsed time
+	// overruns the window by up to a full request latency per worker; rates
+	// divided by it would undercount. Clamp to the configured window and
+	// surface the drain explicitly.
 	elapsed := time.Since(warmupEnd).Seconds()
+	window := cfg.Duration.Seconds()
+	overrun := 0.0
+	if window > 0 && elapsed > window {
+		overrun = elapsed - window
+		elapsed = window
+	}
 	if elapsed <= 0 {
-		elapsed = cfg.Duration.Seconds()
+		elapsed = window
 	}
 	res := Result{
 		Arrival:        cfg.Arrival,
 		Concurrency:    cfg.Concurrency,
 		MeasureSeconds: elapsed,
+		OverrunSeconds: overrun,
 		Sent:           ctrs.sent.Load(),
 		OK:             ctrs.ok.Load(),
 		Shed:           ctrs.shed.Load(),

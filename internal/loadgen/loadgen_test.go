@@ -164,3 +164,49 @@ func TestInProcNodeServesStatus(t *testing.T) {
 		t.Fatalf("/v1/status = %d", resp.StatusCode)
 	}
 }
+
+func TestClosedLoopWindowClamp(t *testing.T) {
+	// A backend slower than the whole measure window: each worker starts its
+	// final (indeed only) request inside the window and drains far past it.
+	// The window denominator must stay at the configured duration, with the
+	// drain reported separately, not folded into measure_seconds.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(250 * time.Millisecond)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer slow.Close()
+
+	const window = 100 * time.Millisecond
+	res, err := Run(Config{
+		BaseURL:     slow.URL,
+		Arrival:     "closed",
+		Concurrency: 2,
+		Duration:    window,
+		Population:  population(40),
+		Pattern:     "zipf",
+		Seed:        5,
+		C:           1, L: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasureSeconds != window.Seconds() {
+		t.Fatalf("measure_seconds = %v, want clamp to %v", res.MeasureSeconds, window.Seconds())
+	}
+	// Each request takes 250ms against a 100ms window, so the drain past the
+	// deadline is at least ~150ms.
+	if res.OverrunSeconds < 0.1 {
+		t.Fatalf("overrun_seconds = %v, want the drain to be visible", res.OverrunSeconds)
+	}
+	if res.OK == 0 {
+		t.Fatalf("slow requests admitted in-window must still be counted: %+v", res)
+	}
+	// Late completions keep their latency samples: p50 reflects the real
+	// 250ms backend even though the window was 100ms.
+	if res.Latency.P50 < 200_000 { // µs
+		t.Fatalf("p50 = %v, late-completion samples were dropped", res.Latency.P50)
+	}
+	if res.ThroughputRPS != float64(res.OK)/res.MeasureSeconds {
+		t.Fatalf("throughput %v not normalised by the clamped window", res.ThroughputRPS)
+	}
+}

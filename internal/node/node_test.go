@@ -1,8 +1,10 @@
 package node
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
+	"math/big"
 	"testing"
 
 	"tokenmagic/internal/chain"
@@ -284,5 +286,71 @@ func TestMineEmptyAndZero(t *testing.T) {
 	}
 	if mined, err := n.Mine(0); err != nil || mined != nil {
 		t.Fatalf("zero mine = %+v, %v", mined, err)
+	}
+}
+
+func TestMineDropsTamperedSignature(t *testing.T) {
+	l, keys := testChain(t, 10)
+	n := defaultNode(t, l)
+	req := diversity.Requirement{C: 1, L: 3}
+
+	sub := makeSubmission(t, l, keys, 0, req)
+	if _, err := n.Submit(sub); err != nil {
+		t.Fatal(err)
+	}
+	// The mempool holds the same *Signature the caller does: corrupt a
+	// response after admission. Mine's batch re-verification (a cache miss,
+	// since the transcript changed) must drop the entry instead of mining it.
+	sub.Signature.S[1] = new(big.Int).Add(sub.Signature.S[1], big.NewInt(1))
+	mined, err := n.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) != 0 {
+		t.Fatalf("tampered entry was mined: %+v", mined)
+	}
+	if n.ChainRings() != 0 || n.PendingCount() != 0 {
+		t.Fatalf("chain=%d pending=%d; want 0, 0 (dropped, not retained)",
+			n.ChainRings(), n.PendingCount())
+	}
+}
+
+func TestVerifyBatchCtx(t *testing.T) {
+	l, keys := testChain(t, 10)
+	n := defaultNode(t, l)
+	req := diversity.Requirement{C: 1, L: 3}
+
+	good := makeSubmission(t, l, keys, 0, req)
+	tampered := makeSubmission(t, l, keys, 1, req)
+	tampered.Signature.S[0] = new(big.Int).Add(tampered.Signature.S[0], big.NewInt(1))
+	unsigned := makeSubmission(t, l, keys, 2, req)
+	unsigned.Signature = nil
+	mismatched := makeSubmission(t, l, keys, 3, req)
+	mismatched.Keys = mismatched.Keys[:len(mismatched.Keys)-1]
+
+	res := n.VerifyBatchCtx(context.Background(), []Submission{good, tampered, unsigned, mismatched})
+	if res.OK() {
+		t.Fatal("batch with three bad entries reported OK")
+	}
+	if res.Errs[0] != nil {
+		t.Fatalf("valid entry failed: %v", res.Errs[0])
+	}
+	if !errors.Is(res.Errs[1], ErrBadSignature) {
+		t.Fatalf("tampered err = %v", res.Errs[1])
+	}
+	if !errors.Is(res.Errs[2], ErrUnsignedDenied) {
+		t.Fatalf("unsigned err = %v", res.Errs[2])
+	}
+	if !errors.Is(res.Errs[3], ErrKeysMismatch) {
+		t.Fatalf("mismatch err = %v", res.Errs[3])
+	}
+	if res.FirstFailure != 1 {
+		t.Fatalf("FirstFailure = %d, want 1", res.FirstFailure)
+	}
+
+	// Re-verifying the same valid entry hits the engine's transcript cache.
+	res = n.VerifyBatchCtx(context.Background(), []Submission{good})
+	if !res.OK() || res.CacheHits != 1 {
+		t.Fatalf("cached re-verify: ok=%v hits=%d", res.OK(), res.CacheHits)
 	}
 }

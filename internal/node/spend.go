@@ -95,7 +95,7 @@ func (n *Node) spend(ctx context.Context, target chain.TokenID, req diversity.Re
 		if err != nil {
 			return SpendResult{}, err
 		}
-		if err := ringsig.VerifyCtx(ctx, sig, ring, msg); err != nil {
+		if err := n.engine.VerifyCtx(ctx, sig, ring, msg); err != nil {
 			return SpendResult{}, fmt.Errorf("%w: %v", ErrBadSignature, err)
 		}
 	}

@@ -7,6 +7,7 @@
 //	POST /v1/submit   {tokens, c, l, keys, signature, fee} → {submission_id}
 //	POST /v1/mine     {max_rings}                          → [{submission_id, ring, fee}]
 //	POST /v1/spend    {target, c, l}                       → {ring, rsid, ring_size, signed}
+//	POST /v1/verify   {entries: [{tokens, keys, signature}]} → {ok, errors, first_failure, cache_hits}
 //	GET  /v1/status                                        → {pending, chain_rings}
 //
 // In a real deployment mining would be driven by consensus rather than an
@@ -60,6 +61,29 @@ type SpendResponse struct {
 	Signed   bool           `json:"signed"`
 }
 
+// VerifyEntry is one signature to check in a /v1/verify batch.
+type VerifyEntry struct {
+	Tokens    chain.TokenSet     `json:"tokens"`
+	Keys      []ringsig.Point    `json:"keys"`
+	Signature *ringsig.Signature `json:"signature"`
+}
+
+// VerifyRequest asks the node to batch-check ring signatures without
+// admitting them to the mempool — what a peer does when auditing a block
+// template it received.
+type VerifyRequest struct {
+	Entries []VerifyEntry `json:"entries"`
+}
+
+// VerifyResponse reports per-entry outcomes. Errors[i] is "" for a valid
+// entry; FirstFailure is the lowest failing index, -1 if all passed.
+type VerifyResponse struct {
+	OK           bool     `json:"ok"`
+	Errors       []string `json:"errors"`
+	FirstFailure int      `json:"first_failure"`
+	CacheHits    int      `json:"cache_hits"`
+}
+
 // MineRequest triggers block production.
 type MineRequest struct {
 	MaxRings int `json:"max_rings"`
@@ -103,10 +127,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/mine", s.handleMine)
 	mux.HandleFunc("/v1/spend", s.handleSpend)
+	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	h := obs.LimitConcurrency(obs.Default(), "nodesvc", s.MaxInFlight, s.MaxQueue, mux)
 	return obs.InstrumentHTTP(obs.Default(), "nodesvc", h,
-		"/v1/submit", "/v1/mine", "/v1/spend", "/v1/status")
+		"/v1/submit", "/v1/mine", "/v1/spend", "/v1/verify", "/v1/status")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -180,6 +205,33 @@ func (s *Server) handleSpend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SpendResponse{Ring: res.Ring, RSID: res.RSID, RingSize: len(res.Ring), Signed: res.Signed})
 }
 
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	subs := make([]node.Submission, len(req.Entries))
+	for i, e := range req.Entries {
+		subs[i] = node.Submission{Tokens: e.Tokens, Keys: e.Keys, Signature: e.Signature}
+	}
+	res := s.node.VerifyBatchCtx(r.Context(), subs)
+	// Per-entry verdicts are the payload, not an HTTP failure: a batch
+	// containing invalid signatures is still a successful verification run.
+	out := VerifyResponse{OK: res.OK(), Errors: make([]string, len(res.Errs)),
+		FirstFailure: res.FirstFailure, CacheHits: res.CacheHits}
+	for i, err := range res.Errs {
+		if err != nil {
+			out.Errors[i] = err.Error()
+		}
+	}
+	writeJSON(w, out)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, Status{Pending: s.node.PendingCount(), ChainRings: s.node.ChainRings()})
 }
@@ -240,6 +292,14 @@ func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
 func (c *Client) Spend(req SpendRequest) (SpendResponse, error) {
 	var out SpendResponse
 	err := c.post("/v1/spend", req, &out)
+	return out, err
+}
+
+// Verify batch-checks ring signatures against the node's verification
+// engine without submitting them.
+func (c *Client) Verify(req VerifyRequest) (VerifyResponse, error) {
+	var out VerifyResponse
+	err := c.post("/v1/verify", req, &out)
 	return out, err
 }
 

@@ -2,6 +2,7 @@ package nodesvc
 
 import (
 	"crypto/rand"
+	"math/big"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -172,5 +173,48 @@ func TestMineDefaultsAndMethodChecks(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 405 {
 		t.Fatalf("GET /v1/submit status = %d", resp.StatusCode)
+	}
+}
+
+func TestVerifyOverHTTP(t *testing.T) {
+	client, l, keys := testSetup(t)
+
+	good := prepareSpend(t, l, keys, 0)
+	tampered := prepareSpend(t, l, keys, 1)
+	tampered.Signature.S[0] = new(big.Int).Add(tampered.Signature.S[0], big.NewInt(1))
+	unsigned := prepareSpend(t, l, keys, 2)
+	unsigned.Signature = nil
+
+	res, err := client.Verify(VerifyRequest{Entries: []VerifyEntry{
+		{Tokens: good.Tokens, Keys: good.Keys, Signature: good.Signature},
+		{Tokens: tampered.Tokens, Keys: tampered.Keys, Signature: tampered.Signature},
+		{Tokens: unsigned.Tokens, Keys: unsigned.Keys},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("batch with bad entries reported ok")
+	}
+	if res.Errors[0] != "" {
+		t.Fatalf("valid entry failed: %s", res.Errors[0])
+	}
+	if res.Errors[1] == "" || res.Errors[2] == "" {
+		t.Fatalf("bad entries passed: %+v", res.Errors)
+	}
+	if res.FirstFailure != 1 {
+		t.Fatalf("first_failure = %d, want 1", res.FirstFailure)
+	}
+
+	// A second round trip of the valid entry is settled by the node's
+	// transcript cache — the wire-level view of batch amortisation.
+	res, err = client.Verify(VerifyRequest{Entries: []VerifyEntry{
+		{Tokens: good.Tokens, Keys: good.Keys, Signature: good.Signature},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.CacheHits != 1 {
+		t.Fatalf("cached verify: ok=%v hits=%d", res.OK, res.CacheHits)
 	}
 }

@@ -1,0 +1,213 @@
+package ringsig
+
+// Engine + VerifyBatch: the batch verification front-end over the kernel
+// layer. An Engine owns the two caches that amortise repeated work — the
+// hash-to-point memo and the verified-transcript cache — and fans batches
+// across a bounded worker pool using the same atomic-cursor pattern as the
+// candidate executor in internal/tokenmagic.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine verifies ring signatures through the scalar-mult kernels with
+// optional cross-call amortisation. The zero value is ready to use and
+// caches nothing; package-level Verify routes through it. Fields are
+// configuration, set before first use and not mutated afterwards; the
+// caches themselves are safe for concurrent use.
+type Engine struct {
+	// Hp memoises hash-to-point across calls. nil: VerifyBatch installs a
+	// fresh memo per batch (single Verify calls compute directly).
+	Hp *HpCache
+	// Seen remembers transcripts that verified, so re-validating a
+	// signature the node already admitted (block validation at mine time)
+	// skips the challenge chain. nil: every call walks the chain.
+	Seen *SigCache
+	// Workers bounds the VerifyBatch pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// VerifyRequest is one signature check in a batch.
+type VerifyRequest struct {
+	Sig  *Signature
+	Ring []Point
+	Msg  []byte
+}
+
+// BatchResult reports a batch verification.
+type BatchResult struct {
+	// Errs has one entry per request, nil for signatures that verified.
+	Errs []error
+	// FirstFailure is the lowest failing index, -1 when all verified.
+	FirstFailure int
+	// CacheHits counts signatures settled by the transcript cache.
+	CacheHits int
+	// Rechecked counts kernel rejects confirmed by the stock-curve
+	// fallback path.
+	Rechecked int
+}
+
+// OK reports whether every signature in the batch verified.
+func (r BatchResult) OK() bool { return r.FirstFailure == -1 }
+
+// errUndecided marks slots a cancelled batch never reached.
+var errUndecided = errors.New("ringsig: batch verification cancelled")
+
+// Verify checks one signature through the engine's caches.
+func (e *Engine) Verify(sig *Signature, ring []Point, msg []byte) error {
+	err, _ := e.verifyOne(sig, ring, msg, e.Hp)
+	return err
+}
+
+// VerifyBatch checks a batch of ring signatures over a bounded worker pool.
+// Requests are independent, so workers claim indices off an atomic cursor
+// (the executor pattern from internal/tokenmagic) and record per-index
+// results; the merged BatchResult is identical at every worker count.
+//
+// Failure handling: when the kernel path rejects a signature, the batch
+// falls back to per-signature verification on the stock curve ops for that
+// index — the identification step. The stock decision is authoritative, so
+// a reject can never be an artefact of the optimised path, and the first
+// confirmed failure's index is reported for the caller to attribute blame.
+//
+// Cancellation marks unvisited requests with ctx.Err(); already-decided
+// indices keep their verdicts.
+func (e *Engine) VerifyBatch(ctx context.Context, reqs []VerifyRequest) BatchResult {
+	res := BatchResult{Errs: make([]error, len(reqs)), FirstFailure: -1}
+	if len(reqs) == 0 {
+		return res
+	}
+	hp := e.Hp
+	if hp == nil {
+		// Memo lifetime = this batch: rings drawn from one ledger overlap,
+		// so even a batch-scoped memo removes most hash-to-point work.
+		hp = NewHpCache()
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+
+	var hits, rechecked atomic.Int64
+	check := func(i int) {
+		err, hit := e.verifyOne(reqs[i].Sig, reqs[i].Ring, reqs[i].Msg, hp)
+		if hit {
+			hits.Add(1)
+		}
+		if err != nil {
+			// Identification fallback: confirm on the stock path.
+			err = StockVerify(reqs[i].Sig, reqs[i].Ring, reqs[i].Msg)
+			rechecked.Add(1)
+		}
+		res.Errs[i] = err
+	}
+
+	if workers <= 1 {
+		for i := range reqs {
+			if ctx.Err() != nil {
+				res.Errs[i] = ctx.Err()
+				continue
+			}
+			check(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := range res.Errs {
+			res.Errs[i] = errUndecided
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(reqs) || ctx.Err() != nil {
+						return
+					}
+					check(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range res.Errs {
+			if err == errUndecided { // cancelled before this slot was claimed
+				res.Errs[i] = ctx.Err()
+			}
+		}
+	}
+
+	res.CacheHits = int(hits.Load())
+	res.Rechecked = int(rechecked.Load())
+	for i, err := range res.Errs {
+		if err != nil {
+			res.FirstFailure = i
+			break
+		}
+	}
+	return res
+}
+
+// verifyOne runs the full single-signature check: structural validation in
+// the same order (and with the same error identities) as the stock
+// implementation, then the transcript cache, then the challenge chain
+// through the kernels. Successful chains are recorded in the cache.
+func (e *Engine) verifyOne(sig *Signature, ring []Point, msg []byte, hp *HpCache) (err error, cacheHit bool) {
+	n := len(ring)
+	if sig == nil || n < 2 || len(sig.S) != n || sig.C0 == nil {
+		return ErrInvalid, false
+	}
+	if sig.Image.IsZero() || !Curve.IsOnCurve(sig.Image.X, sig.Image.Y) {
+		return ErrInvalid, false
+	}
+	for _, p := range ring {
+		if p.IsZero() || !Curve.IsOnCurve(p.X, p.Y) {
+			return ErrBadRingKeys, false
+		}
+	}
+	// The stock path range-checks scalars lazily inside the chain loop and
+	// C0 implicitly (an out-of-range C0 can never equal the reduced final
+	// challenge). Hoisting both here changes no decision — any bad scalar
+	// yields ErrInvalid on both paths — and lets the kernels assume
+	// fixed-width 32-byte operands.
+	if sig.C0.Sign() < 0 || sig.C0.Cmp(curveN) >= 0 {
+		return ErrInvalid, false
+	}
+	for _, s := range sig.S {
+		if s == nil || s.Sign() < 0 || s.Cmp(curveN) >= 0 {
+			return ErrInvalid, false
+		}
+	}
+
+	var key [32]byte
+	if e.Seen != nil {
+		key = transcriptKey(sig, ring, msg)
+		if e.Seen.Seen(key) {
+			// Keys bind every byte the decision depends on, so a hit
+			// replays a verification that already succeeded.
+			return nil, true
+		}
+	}
+
+	c := sig.C0
+	for i := 0; i < n; i++ {
+		c = ringStep(msg, ring[i], sig.Image, sig.S[i], c, hp)
+	}
+	if c.Cmp(sig.C0) != 0 {
+		return ErrInvalid, false
+	}
+	if e.Seen != nil {
+		e.Seen.Record(key)
+	}
+	return nil, false
+}
+
+// defaultEngine backs the package-level Verify wrapper: kernels, no caches.
+var defaultEngine Engine

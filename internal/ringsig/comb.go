@@ -1,0 +1,87 @@
+package ringsig
+
+// Lim-Lee fixed-base comb table for the P-256 generator.
+//
+// The 256-bit scalar is viewed as a 32×8 bit matrix: tooth t of column j is
+// bit j + 32t. Table entry m (1 ≤ m ≤ 255) holds Σ_{t ∈ bits(m)} 2^(32t)·G,
+// so s·G = Σ_{j=0}^{31} 2^j·T[col_j(s)] — 32 table additions folded into a
+// ladder that is already doubling for the Strauss pass, with zero doublings
+// of its own. The table is built once per process, on first use of the
+// fallback engine (platforms whose stock curve exposes the fused
+// CombinedMult never touch it outside tests), and is read-only afterwards.
+
+import "sync"
+
+const (
+	// combTeeth × combSpacing must cover the 256-bit scalar width.
+	combTeeth   = 8
+	combSpacing = 32
+)
+
+var (
+	combOnce sync.Once
+	combG    *[255]Point
+)
+
+// combTableG returns the comb table, building it on first use.
+func combTableG() *[255]Point {
+	combOnce.Do(buildCombG)
+	return combG
+}
+
+func buildCombG() {
+	s := newJacScratch()
+	params := Curve.Params()
+	g := Point{X: params.Gx, Y: params.Gy}
+
+	// bases[t] = 2^(32t)·G, affine.
+	var bases [combTeeth]Point
+	bases[0] = g
+	acc := newJacPoint().setAffine(g)
+	for t := 1; t < combTeeth; t++ {
+		for d := 0; d < combSpacing; d++ {
+			acc.double(s)
+		}
+		bases[t] = acc.affine()
+	}
+
+	// Entry m extends entry m with its lowest set bit cleared; building in
+	// increasing m order guarantees the prefix entry already exists.
+	jac := make([]*jacPoint, 256)
+	var table [255]Point
+	for m := 1; m <= 255; m++ {
+		t := trailingZeros8(uint8(m))
+		rest := m &^ (1 << t)
+		p := newJacPoint()
+		if rest == 0 {
+			p.setAffine(bases[t])
+		} else {
+			p.set(jac[rest])
+			p.addAffine(bases[t], false, s)
+		}
+		jac[m] = p
+		table[m-1] = p.affine()
+	}
+	combG = &table
+}
+
+func trailingZeros8(v uint8) uint {
+	var n uint
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// combColumn extracts column j of the comb bit matrix from a 32-byte
+// big-endian scalar: bit t of the result is scalar bit j + 32t.
+func combColumn(sb *[32]byte, j int) uint8 {
+	var col uint8
+	for t := 0; t < combTeeth; t++ {
+		k := j + combSpacing*t
+		bit := (sb[31-k/8] >> (uint(k) % 8)) & 1
+		col |= bit << uint(t)
+	}
+	return col
+}

@@ -1,0 +1,375 @@
+package ringsig
+
+// Verification-only Jacobian arithmetic over P-256.
+//
+// The kernel layer (kernel.go) prefers the stock curve's fused CombinedMult
+// when the platform exposes it (amd64/arm64 assembly). On every other
+// platform the stock fallback is the generic, constant-time CurveParams
+// ladder — one full double-and-add pass per scalar, so a verification pair
+// s·G + c·P costs two complete ladders plus an affine Add. The engine in
+// this file replaces that with a single Shamir/Strauss interleaved ladder:
+// one shared run of 256 doublings serving every scalar in the pair, wNAF
+// digit recoding so only ~1 in 6 steps adds, and the Lim-Lee comb table
+// (comb.go) folding the fixed-base term into the same ladder.
+//
+// Everything here is VARIABLE-TIME by design: branch patterns follow digit
+// values. That is safe only because verification inputs are public — the
+// message, the ring, the response scalars and the challenge are all part of
+// the signature being checked. Secret scalars (nonces, private keys) never
+// enter this file; Sign and KeyImage use the stock constant-time curve ops
+// exclusively (see DESIGN.md "Verification kernels").
+
+import "math/big"
+
+// Cached curve constants. P-256 has a = -3, which the doubling formula
+// below exploits.
+var (
+	curveP = Curve.Params().P
+	curveN = Curve.Params().N
+	curveB = Curve.Params().B
+)
+
+// jacPoint is a point in Jacobian projective coordinates: the affine point
+// is (x/z², y/z³); z = 0 encodes the point at infinity.
+type jacPoint struct {
+	x, y, z *big.Int
+}
+
+func newJacPoint() *jacPoint {
+	return &jacPoint{x: new(big.Int), y: new(big.Int), z: new(big.Int)}
+}
+
+func (p *jacPoint) isInfinity() bool { return p.z.Sign() == 0 }
+
+func (p *jacPoint) setInfinity() *jacPoint {
+	p.x.SetInt64(1)
+	p.y.SetInt64(1)
+	p.z.SetInt64(0)
+	return p
+}
+
+func (p *jacPoint) set(q *jacPoint) *jacPoint {
+	p.x.Set(q.x)
+	p.y.Set(q.y)
+	p.z.Set(q.z)
+	return p
+}
+
+// setAffine loads an affine point; the caller guarantees q is on the curve
+// and not the identity placeholder.
+func (p *jacPoint) setAffine(q Point) *jacPoint {
+	p.x.Set(q.X)
+	p.y.Set(q.Y)
+	p.z.SetInt64(1)
+	return p
+}
+
+// affine converts back to affine coordinates. Infinity maps to (0, 0) —
+// the same convention the stock elliptic.Curve API uses — so kernel results
+// are bit-compatible with stock results everywhere, including degenerate
+// tampered-signature cases.
+func (p *jacPoint) affine() Point {
+	if p.isInfinity() {
+		return Point{X: new(big.Int), Y: new(big.Int)}
+	}
+	zinv := new(big.Int).ModInverse(p.z, curveP)
+	zinv2 := new(big.Int).Mul(zinv, zinv)
+	zinv2.Mod(zinv2, curveP)
+	x := new(big.Int).Mul(p.x, zinv2)
+	x.Mod(x, curveP)
+	zinv2.Mul(zinv2, zinv)
+	zinv2.Mod(zinv2, curveP)
+	y := new(big.Int).Mul(p.y, zinv2)
+	y.Mod(y, curveP)
+	return Point{X: x, Y: y}
+}
+
+// jacScratch holds the temporaries one ladder run reuses across every
+// double/add step, so the per-step big.Int churn is bounded.
+type jacScratch struct {
+	t1, t2, t3, t4, t5, t6, t7 *big.Int
+	tmp                        *jacPoint
+}
+
+func newJacScratch() *jacScratch {
+	return &jacScratch{
+		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int),
+		t4: new(big.Int), t5: new(big.Int), t6: new(big.Int),
+		t7: new(big.Int), tmp: newJacPoint(),
+	}
+}
+
+// double sets p = 2p in place, using the a = -3 Jacobian doubling formula
+// (dbl-2001-b): correct for every input including infinity and y = 0.
+func (p *jacPoint) double(s *jacScratch) {
+	if p.isInfinity() {
+		return
+	}
+	delta := s.t1.Mul(p.z, p.z)
+	delta.Mod(delta, curveP)
+	gamma := s.t2.Mul(p.y, p.y)
+	gamma.Mod(gamma, curveP)
+	beta := s.t3.Mul(p.x, gamma)
+	beta.Mod(beta, curveP)
+
+	// alpha = 3(x - delta)(x + delta)
+	alpha := s.t4.Sub(p.x, delta)
+	t := s.t5.Add(p.x, delta)
+	alpha.Mul(alpha, t)
+	alpha.Mul(alpha, three)
+	alpha.Mod(alpha, curveP)
+
+	// z3 = (y + z)² - gamma - delta  (= 2yz)
+	z3 := s.t5.Add(p.y, p.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, gamma)
+	z3.Sub(z3, delta)
+	z3.Mod(z3, curveP)
+
+	// x3 = alpha² - 8 beta
+	x3 := s.t6.Mul(alpha, alpha)
+	t = s.t7.Lsh(beta, 3)
+	x3.Sub(x3, t)
+	x3.Mod(x3, curveP)
+
+	// y3 = alpha(4 beta - x3) - 8 gamma²
+	y3 := s.t7.Lsh(beta, 2)
+	y3.Sub(y3, x3)
+	y3.Mul(y3, alpha)
+	t = s.t1.Mul(gamma, gamma)
+	t.Lsh(t, 3)
+	y3.Sub(y3, t)
+	y3.Mod(y3, curveP)
+
+	p.x.Set(x3)
+	p.y.Set(y3)
+	p.z.Set(z3)
+}
+
+var three = big.NewInt(3)
+
+// addAffine sets p = p + q (or p - q when neg), with q affine. Mixed
+// addition (madd-2007-bl): ~8 field multiplications against ~12 for the
+// general formula, which is why the ladder tables are stored affine.
+func (p *jacPoint) addAffine(q Point, neg bool, s *jacScratch) {
+	qy := q.Y
+	if neg {
+		qy = s.t7.Sub(curveP, q.Y)
+	}
+	if p.isInfinity() {
+		p.x.Set(q.X)
+		p.y.Set(qy)
+		p.z.SetInt64(1)
+		return
+	}
+	z1z1 := s.t1.Mul(p.z, p.z)
+	z1z1.Mod(z1z1, curveP)
+	u2 := s.t2.Mul(q.X, z1z1)
+	u2.Mod(u2, curveP)
+	s2 := s.t3.Mul(qy, p.z)
+	s2.Mul(s2, z1z1)
+	s2.Mod(s2, curveP)
+
+	h := u2.Sub(u2, p.x) // H = U2 - X1
+	h.Mod(h, curveP)
+	r := s2.Sub(s2, p.y) // r = S2 - Y1 (halved variant: track r, double later)
+	r.Mod(r, curveP)
+
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			// Same point: fall back to doubling. qy mutation above is
+			// irrelevant — doubling reads only p.
+			p.double(s)
+			return
+		}
+		p.setInfinity() // P + (-P)
+		return
+	}
+
+	r.Lsh(r, 1) // r = 2(S2 - Y1)
+	hh := s.t4.Mul(h, h)
+	hh.Mod(hh, curveP)
+	i := s.t5.Lsh(hh, 2) // I = 4 HH
+	i.Mod(i, curveP)
+	j := s.t6.Mul(h, i) // J = H I
+	j.Mod(j, curveP)
+	v := i.Mul(p.x, i) // V = X1 I
+	v.Mod(v, curveP)
+
+	// x3 = r² - J - 2V
+	x3 := s.t7.Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+	x3.Mod(x3, curveP)
+
+	// y3 = r(V - x3) - 2 Y1 J
+	v.Sub(v, x3)
+	v.Mul(v, r)
+	j.Mul(j, p.y)
+	j.Lsh(j, 1)
+	v.Sub(v, j)
+	v.Mod(v, curveP)
+
+	// z3 = (Z1 + H)² - Z1Z1 - HH  (= 2 Z1 H)
+	z3 := hh // reuse backing storage
+	t := s.t2.Add(p.z, h)
+	t.Mul(t, t)
+	t.Sub(t, z1z1)
+	t.Sub(t, s.t4)
+	z3.Set(t)
+	z3.Mod(z3, curveP)
+
+	p.x.Set(x3)
+	p.y.Set(v)
+	p.z.Set(z3)
+}
+
+// wnafWidth is the window width for variable-point recoding: digits are odd
+// in ±{1..15}, the table holds 8 odd multiples, and on average one step in
+// w+1 = 6 performs an addition.
+const wnafWidth = 5
+
+// wnafDigits recodes k (0 ≤ k < N) into width-w non-adjacent form,
+// little-endian: k = Σ d[i]·2^i with d[i] ∈ {0, ±1, ±3, …, ±(2^(w-1)-1)}.
+func wnafDigits(k *big.Int, w uint) []int8 {
+	if k.Sign() == 0 {
+		return nil
+	}
+	digits := make([]int8, 0, k.BitLen()+1)
+	n := new(big.Int).Set(k)
+	mask := int64(1)<<w - 1
+	half := int64(1) << (w - 1)
+	for n.Sign() > 0 {
+		var d int64
+		if n.Bit(0) == 1 {
+			d = int64(n.Bits()[0]) & mask
+			if d >= half {
+				d -= mask + 1
+			}
+			if d > 0 {
+				n.Sub(n, small(d))
+			} else {
+				n.Add(n, small(-d))
+			}
+		}
+		digits = append(digits, int8(d))
+		n.Rsh(n, 1)
+	}
+	return digits
+}
+
+// small returns a cached *big.Int for v ∈ [0, 16): the only magnitudes wNAF
+// recoding ever adds or subtracts.
+func small(v int64) *big.Int { return smallInts[v] }
+
+var smallInts = func() [16]*big.Int {
+	var s [16]*big.Int
+	for i := range s {
+		s[i] = big.NewInt(int64(i))
+	}
+	return s
+}()
+
+// oddMultiples fills tbl with the odd multiples {1, 3, 5, …, 15}·p in
+// affine coordinates — the wNAF lookup table for one variable point.
+func oddMultiples(p Point, tbl *[8]Point) {
+	s := newJacScratch()
+	twoP := newJacPoint().setAffine(p)
+	twoP.double(s)
+	two := twoP.affine()
+	acc := newJacPoint().setAffine(p)
+	tbl[0] = p
+	for i := 1; i < 8; i++ {
+		acc.addAffine(two, false, s)
+		tbl[i] = acc.affine()
+	}
+}
+
+// strausBaseVar computes s·G + c·P with one interleaved ladder: the comb
+// table supplies the fixed-base teeth (32 additions, no doublings of its
+// own) and wNAF digits of c drive the variable-point additions, all over a
+// single shared run of doublings.
+func strausBaseVar(sc, c *big.Int, pub Point) Point {
+	comb := combTableG()
+	var sb [32]byte
+	reduceScalar(sc).FillBytes(sb[:])
+
+	var tbl [8]Point
+	cd := wnafDigits(reduceScalar(c), wnafWidth)
+	if len(cd) > 0 {
+		oddMultiples(pub, &tbl)
+	}
+
+	s := newJacScratch()
+	acc := newJacPoint().setInfinity()
+	top := combSpacing - 1
+	if len(cd)-1 > top {
+		top = len(cd) - 1
+	}
+	for i := top; i >= 0; i-- {
+		acc.double(s)
+		if i < len(cd) && cd[i] != 0 {
+			if cd[i] > 0 {
+				acc.addAffine(tbl[cd[i]>>1], false, s)
+			} else {
+				acc.addAffine(tbl[(-cd[i])>>1], true, s)
+			}
+		}
+		if i < combSpacing {
+			if col := combColumn(&sb, i); col != 0 {
+				acc.addAffine(comb[col-1], false, s)
+			}
+		}
+	}
+	return acc.affine()
+}
+
+// strausVarVar computes a·Q + b·R for two variable points with one shared
+// ladder and two wNAF digit streams.
+func strausVarVar(a *big.Int, q Point, b *big.Int, r Point) Point {
+	ad := wnafDigits(reduceScalar(a), wnafWidth)
+	bd := wnafDigits(reduceScalar(b), wnafWidth)
+	var qt, rt [8]Point
+	if len(ad) > 0 {
+		oddMultiples(q, &qt)
+	}
+	if len(bd) > 0 {
+		oddMultiples(r, &rt)
+	}
+
+	s := newJacScratch()
+	acc := newJacPoint().setInfinity()
+	top := len(ad)
+	if len(bd) > top {
+		top = len(bd)
+	}
+	for i := top - 1; i >= 0; i-- {
+		acc.double(s)
+		if i < len(ad) && ad[i] != 0 {
+			if ad[i] > 0 {
+				acc.addAffine(qt[ad[i]>>1], false, s)
+			} else {
+				acc.addAffine(qt[(-ad[i])>>1], true, s)
+			}
+		}
+		if i < len(bd) && bd[i] != 0 {
+			if bd[i] > 0 {
+				acc.addAffine(rt[bd[i]>>1], false, s)
+			} else {
+				acc.addAffine(rt[(-bd[i])>>1], true, s)
+			}
+		}
+	}
+	return acc.affine()
+}
+
+// reduceScalar returns k mod N without copying when k is already in range —
+// the verification path always is; the reduction only triggers on inputs
+// from differential tests poking at the raw kernels.
+func reduceScalar(k *big.Int) *big.Int {
+	if k.Sign() >= 0 && k.Cmp(curveN) < 0 {
+		return k
+	}
+	return new(big.Int).Mod(k, curveN)
+}

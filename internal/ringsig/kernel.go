@@ -1,0 +1,73 @@
+package ringsig
+
+// Double-scalar multiplication kernels for the verification challenge
+// chain. Each ring member costs two point pairs:
+//
+//	L = s·G  + c·P   (fixed base + variable point)
+//	R = s·Hp + c·I   (two variable points)
+//
+// mulPairBase and mulPair are the only multiplication entry points the
+// verify path uses. On platforms whose P-256 implementation exposes the
+// fused CombinedMult (amd64/arm64 assembly backends), L costs one fused
+// call — the same price as a single ScalarMult — instead of
+// ScalarBaseMult + ScalarMult + Add. Elsewhere both pairs dispatch to the
+// Strauss/comb engine in jacobian.go, which beats the generic constant-time
+// ladder the stock fallback would run roughly threefold.
+//
+// Scalars are encoded fixed-width via FillBytes: big.Int.Bytes() drops
+// leading zero bytes, and while the stock API tolerates short scalars, the
+// fixed 32-byte form is what the scheme specifies and what keeps encode
+// length independent of scalar value. The kernels are variable-time either
+// way (see DESIGN.md "Verification kernels" for the constant-time caveat);
+// they must only ever see public verification inputs.
+
+import "math/big"
+
+// combinedMulter is the fused double-scalar interface the assembly-backed
+// P-256 implementation exports; discovered by type assertion at init so the
+// package keeps building against stock libraries that lack it.
+type combinedMulter interface {
+	CombinedMult(bigX, bigY *big.Int, baseScalar, scalar []byte) (x, y *big.Int)
+}
+
+var p256Combined, p256HasCombined = Curve.(combinedMulter)
+
+// mulPairBase returns s·G + c·P for public verification scalars.
+//
+//tmlint:hotpath
+func mulPairBase(s, c *big.Int, pub Point) Point {
+	if p256HasCombined {
+		var sb, cb [32]byte
+		s.FillBytes(sb[:])
+		c.FillBytes(cb[:])
+		x, y := p256Combined.CombinedMult(pub.X, pub.Y, sb[:], cb[:])
+		return Point{X: x, Y: y}
+	}
+	//lint:ignore hotalloc fallback Strauss/comb engine allocates big.Int temporaries by design; dispatched only on platforms without an assembly fused multiplier
+	return strausBaseVar(s, c, pub)
+}
+
+// mulPair returns a·Q + b·R for public verification scalars.
+//
+//tmlint:hotpath
+func mulPair(a *big.Int, q Point, b *big.Int, r Point) Point {
+	if p256HasCombined {
+		var ab, bb [32]byte
+		a.FillBytes(ab[:])
+		b.FillBytes(bb[:])
+		qx, qy := Curve.ScalarMult(q.X, q.Y, ab[:])
+		rx, ry := Curve.ScalarMult(r.X, r.Y, bb[:])
+		x, y := Curve.Add(qx, qy, rx, ry)
+		return Point{X: x, Y: y}
+	}
+	//lint:ignore hotalloc fallback Strauss engine allocates big.Int temporaries by design; dispatched only on platforms without an assembly fused multiplier
+	return strausVarVar(a, q, b, r)
+}
+
+// ringStep computes c_{i+1} = H(msg, s·G + c·P, s·Hp(P) + c·I) through the
+// kernels, resolving Hp(P) via the memo when one is supplied.
+func ringStep(msg []byte, pub, image Point, s, c *big.Int, hp *HpCache) *big.Int {
+	l := mulPairBase(s, c, pub)
+	r := mulPair(s, hp.hashPoint(pub), c, image)
+	return challenge(msg, l, r)
+}

@@ -78,7 +78,9 @@ func MultiSign(rng io.Reader, keys []*PrivateKey, matrix [][]Point, signerIdx in
 	}
 	c := make([]*big.Int, n)
 
-	// Seed the challenge chain at the signer row with fresh nonces.
+	// Seed the challenge chain at the signer row with fresh nonces. The
+	// nonces are secret, so these multiplications stay on the stock
+	// constant-time ops with fixed-width scalar encoding.
 	var seedParts []Point
 	for j := range keys {
 		a, err := randScalar(rng)
@@ -86,9 +88,11 @@ func MultiSign(rng io.Reader, keys []*PrivateKey, matrix [][]Point, signerIdx in
 			return nil, err
 		}
 		alphas[j] = a
-		agx, agy := Curve.ScalarBaseMult(a.Bytes())
+		var ab [32]byte
+		a.FillBytes(ab[:])
+		agx, agy := Curve.ScalarBaseMult(ab[:])
 		hp := hashToPoint(matrix[signerIdx][j])
-		ahx, ahy := Curve.ScalarMult(hp.X, hp.Y, a.Bytes())
+		ahx, ahy := Curve.ScalarMult(hp.X, hp.Y, ab[:])
 		seedParts = append(seedParts, Point{agx, agy}, Point{ahx, ahy})
 	}
 	c[(signerIdx+1)%n] = multiChallenge(msg, seedParts)
@@ -132,6 +136,12 @@ func MultiVerify(sig *MultiSignature, matrix [][]Point, msg []byte) error {
 		return ErrInvalidMulti
 	}
 	order := Curve.Params().N
+	// An out-of-range C0 can never equal the reduced final challenge, so
+	// rejecting it up front changes no decision and lets the kernel chain
+	// assume fixed-width 32-byte challenge operands.
+	if sig.C0.Sign() < 0 || sig.C0.Cmp(order) >= 0 {
+		return ErrInvalidMulti
+	}
 	for _, img := range sig.Images {
 		if img.IsZero() || !Curve.IsOnCurve(img.X, img.Y) {
 			return ErrInvalidMulti
@@ -182,17 +192,14 @@ func LinkedMulti(a, b *MultiSignature) bool {
 	return false
 }
 
-// layerPoints computes (s·G + c·P, s·Hp(P) + c·I) for one matrix cell.
+// layerPoints computes (s·G + c·P, s·Hp(P) + c·I) for one matrix cell
+// through the verification kernels. s and c are public here: MultiSign only
+// calls it for decoy rows, and the secret-nonce seed row above uses the
+// stock constant-time ops directly.
 func layerPoints(pub, image Point, s, c *big.Int) (Point, Point) {
-	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
-	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
-	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
-
-	hp := hashToPoint(pub)
-	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
-	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
-	rx, ry := Curve.Add(shx, shy, cix, ciy)
-	return Point{lx, ly}, Point{rx, ry}
+	l := mulPairBase(s, c, pub)
+	r := mulPair(s, hashToPoint(pub), c, image)
+	return l, r
 }
 
 // multiChallenge hashes a transcript of points into a scalar.

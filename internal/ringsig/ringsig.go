@@ -78,10 +78,15 @@ func GenerateKey(rng io.Reader) (*PrivateKey, error) {
 
 // KeyImage computes I = x·Hp(P), the linkability tag. Two signatures by the
 // same key always share the image; images of different keys collide only
-// with negligible probability.
+// with negligible probability. The multiplication involves the private
+// scalar, so it stays on the stock constant-time ScalarMult — never the
+// variable-time verification kernels — with the scalar encoded fixed-width
+// (Bytes() would shorten the encoding for scalars with leading zero bytes).
 func (k *PrivateKey) KeyImage() Point {
 	hp := hashToPoint(k.Public)
-	x, y := Curve.ScalarMult(hp.X, hp.Y, k.D.Bytes())
+	var d [32]byte
+	k.D.FillBytes(d[:])
+	x, y := Curve.ScalarMult(hp.X, hp.Y, d[:])
 	return Point{X: x, Y: y}
 }
 
@@ -128,9 +133,14 @@ func Sign(rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg []byte
 	c := make([]*big.Int, n)
 
 	// Start the ring at the signer: c_{π+1} = H(msg, α·G, α·Hp(P_π)).
-	agx, agy := Curve.ScalarBaseMult(alpha.Bytes())
+	// α is a secret nonce, so these two multiplications use the stock
+	// constant-time ops with fixed-width scalar encoding — the
+	// variable-time kernels below only ever see the public decoy scalars.
+	var ab [32]byte
+	alpha.FillBytes(ab[:])
+	agx, agy := Curve.ScalarBaseMult(ab[:])
 	hpPi := hashToPoint(ring[signerIdx])
-	ahx, ahy := Curve.ScalarMult(hpPi.X, hpPi.Y, alpha.Bytes())
+	ahx, ahy := Curve.ScalarMult(hpPi.X, hpPi.Y, ab[:])
 	c[(signerIdx+1)%n] = challenge(msg, Point{agx, agy}, Point{ahx, ahy})
 
 	// Walk the ring with random responses for every other member:
@@ -141,7 +151,7 @@ func Sign(rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg []byte
 		if err != nil {
 			return nil, err
 		}
-		c[(i+1)%n] = ringStep(msg, ring[i], image, s[i], c[i])
+		c[(i+1)%n] = ringStep(msg, ring[i], image, s[i], c[i], nil)
 	}
 
 	// Close the ring: s_π = α − c_π·x (mod N).
@@ -153,32 +163,12 @@ func Sign(rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg []byte
 	return &Signature{C0: c[0], S: s, Image: image}, nil
 }
 
-// Verify checks the signature over msg against the ring.
+// Verify checks the signature over msg against the ring. It is a thin
+// wrapper over a cache-less Engine: same decisions, kernel-accelerated
+// chain. Callers verifying many signatures should hold an Engine (or call
+// VerifyBatch) so the hash-to-point memo and transcript cache amortise.
 func Verify(sig *Signature, ring []Point, msg []byte) error {
-	n := len(ring)
-	if sig == nil || n < 2 || len(sig.S) != n || sig.C0 == nil {
-		return ErrInvalid
-	}
-	if sig.Image.IsZero() || !Curve.IsOnCurve(sig.Image.X, sig.Image.Y) {
-		return ErrInvalid
-	}
-	for _, p := range ring {
-		if p.IsZero() || !Curve.IsOnCurve(p.X, p.Y) {
-			return ErrBadRingKeys
-		}
-	}
-	order := Curve.Params().N
-	c := new(big.Int).Set(sig.C0)
-	for i := 0; i < n; i++ {
-		if sig.S[i] == nil || sig.S[i].Sign() < 0 || sig.S[i].Cmp(order) >= 0 {
-			return ErrInvalid
-		}
-		c = ringStep(msg, ring[i], sig.Image, sig.S[i], c)
-	}
-	if c.Cmp(sig.C0) != 0 {
-		return ErrInvalid
-	}
-	return nil
+	return defaultEngine.Verify(sig, ring, msg)
 }
 
 // Linked reports whether two signatures were produced by the same private
@@ -188,20 +178,6 @@ func Linked(a, b *Signature) bool {
 		return false
 	}
 	return a.Image.Equal(b.Image)
-}
-
-// ringStep computes c_{i+1} = H(msg, s·G + c·P, s·Hp(P) + c·I).
-func ringStep(msg []byte, pub, image Point, s, c *big.Int) *big.Int {
-	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
-	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
-	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
-
-	hp := hashToPoint(pub)
-	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
-	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
-	rx, ry := Curve.Add(shx, shy, cix, ciy)
-
-	return challenge(msg, Point{lx, ly}, Point{rx, ry})
 }
 
 // challenge hashes the transcript into a scalar mod N.
@@ -221,50 +197,6 @@ func hashWrite(h hash.Hash, parts ...[]byte) {
 			panic("ringsig: hash write failed: " + err.Error())
 		}
 	}
-}
-
-// hashToPoint maps a public key to a curve point with unknown discrete log
-// relative to G, via iterated hash-and-increment on the x-coordinate.
-func hashToPoint(p Point) Point {
-	seed := sha256.Sum256(append([]byte("tokenmagic/hp/v1"), p.Bytes()...))
-	params := Curve.Params()
-	x := new(big.Int).SetBytes(seed[:])
-	x.Mod(x, params.P)
-	one := big.NewInt(1)
-	for i := 0; i < 1000; i++ {
-		if y := ySquaredRoot(x); y != nil {
-			return Point{X: new(big.Int).Set(x), Y: y}
-		}
-		x.Add(x, one)
-		x.Mod(x, params.P)
-	}
-	// Unreachable in practice: each x has ~1/2 chance of being on curve.
-	panic("ringsig: hash-to-point failed after 1000 attempts")
-}
-
-// ySquaredRoot returns a y with y² = x³ − 3x + b (mod p) if one exists.
-func ySquaredRoot(x *big.Int) *big.Int {
-	params := Curve.Params()
-	// y² = x³ - 3x + b mod p
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	threeX := new(big.Int).Lsh(x, 1)
-	threeX.Add(threeX, x)
-	y2.Sub(y2, threeX)
-	y2.Add(y2, params.B)
-	y2.Mod(y2, params.P)
-	y := new(big.Int).ModSqrt(y2, params.P)
-	if y == nil {
-		return nil
-	}
-	// Verify (ModSqrt can misfire only if y2 was not a residue, in which
-	// case it returns nil; this is belt and braces).
-	check := new(big.Int).Mul(y, y)
-	check.Mod(check, params.P)
-	if check.Cmp(y2) != 0 {
-		return nil
-	}
-	return y
 }
 
 // randScalar draws a uniform scalar in [1, N-1]. Its result is a

@@ -1,0 +1,117 @@
+package ringsig
+
+// Verified-transcript cache. A node verifies every signature at least
+// twice: once at submission admission and again when the containing block
+// is validated at mine time. The transcript key binds every byte the
+// decision depends on — message, ring, responses, initial challenge, key
+// image — so a hit proves this exact verification already succeeded and the
+// whole challenge chain can be skipped. Only successful verifications are
+// recorded; a reject is never cached (rejects are rare, and callers may
+// retry with a corrected ring).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// SigCache remembers transcripts that verified, bounded by a two-generation
+// rotation: inserts land in the current generation, lookups consult both,
+// and when the current generation fills, it becomes the previous one and a
+// fresh map starts. Eviction is therefore approximately FIFO at generation
+// granularity with memory bounded by ~capacity entries, the scheme Bitcoin
+// Core's signature cache popularised.
+type SigCache struct {
+	mu   sync.Mutex
+	half int
+	cur  map[[32]byte]struct{}
+	prev map[[32]byte]struct{}
+}
+
+// NewSigCache returns a cache holding about capacity verified transcripts.
+func NewSigCache(capacity int) *SigCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &SigCache{
+		half: capacity / 2,
+		cur:  make(map[[32]byte]struct{}, capacity/2),
+	}
+}
+
+// Seen reports whether the transcript key was recorded by a previous
+// successful verification.
+func (c *SigCache) Seen(key [32]byte) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cur[key]; ok {
+		return true
+	}
+	_, ok := c.prev[key]
+	return ok
+}
+
+// Record remembers a transcript that verified successfully.
+func (c *SigCache) Record(key [32]byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cur) >= c.half {
+		c.prev = c.cur
+		c.cur = make(map[[32]byte]struct{}, c.half)
+	}
+	c.cur[key] = struct{}{}
+}
+
+// Len reports the number of remembered transcripts across both generations.
+func (c *SigCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.prev)
+}
+
+// transcriptKey hashes the full verification transcript. All fixed-width
+// fields use 32-byte encodings and the variable-width ones (message, ring
+// length, an out-of-range C0) are length-framed, so distinct transcripts
+// cannot collide by concatenation. The caller guarantees ring points and
+// response scalars are structurally valid (checked before the cache is
+// consulted); C0 is the one field an attacker controls without a range
+// check, hence its length framing.
+func transcriptKey(sig *Signature, ring []Point, msg []byte) [32]byte {
+	h := sha256.New()
+	var n8 [8]byte
+	var w [32]byte
+	hashWrite(h, []byte("tokenmagic/sigcache/v1"))
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(msg)))
+	hashWrite(h, n8[:], msg)
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(ring)))
+	hashWrite(h, n8[:])
+	for _, p := range ring {
+		p.X.FillBytes(w[:])
+		hashWrite(h, w[:])
+		p.Y.FillBytes(w[:])
+		hashWrite(h, w[:])
+	}
+	c0 := sig.C0.Bytes()
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(c0)))
+	hashWrite(h, n8[:], c0)
+	for _, s := range sig.S {
+		s.FillBytes(w[:])
+		hashWrite(h, w[:])
+	}
+	sig.Image.X.FillBytes(w[:])
+	hashWrite(h, w[:])
+	sig.Image.Y.FillBytes(w[:])
+	hashWrite(h, w[:])
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

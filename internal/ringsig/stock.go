@@ -1,0 +1,189 @@
+package ringsig
+
+// The stock-curve implementation: sign and verify written directly against
+// the generic elliptic.Curve API, exactly as the package did before the
+// kernel layer existed — one ScalarBaseMult, three ScalarMult and two Add
+// per ring member, with a big.Int ModSqrt hash-to-point and no caches.
+//
+// It stays for three jobs:
+//
+//   - differential testing: the kernel path must produce byte-identical
+//     signatures (same rng stream) and identical accept/reject decisions,
+//     which kernel_test.go and the fuzz targets assert against this code;
+//   - the benchmark baseline: BENCH_ringsig.json's speedups are measured
+//     against StockVerify/StockSign;
+//   - runtime identification fallback: VerifyBatch confirms kernel rejects
+//     here, so a reject can never be an artefact of the optimised path.
+//
+// The only definitional deltas from the pre-kernel code are shared with the
+// main path: the hash-to-point domain tag is v2 and the square root is
+// canonicalised to the even y (stockHashToPoint below computes it the old
+// ModSqrt way and must agree bit-for-bit with the compressed-point fast
+// path in hpcache.go).
+
+import (
+	"crypto/sha256"
+	"io"
+	"math/big"
+)
+
+// StockSign is Sign on stock curve ops. Given the same rng stream it must
+// produce a byte-identical signature to Sign.
+func StockSign(rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg []byte) (*Signature, error) {
+	n := len(ring)
+	if n < 2 {
+		return nil, ErrSmallRing
+	}
+	if signerIdx < 0 || signerIdx >= n || !ring[signerIdx].Equal(sk.Public) {
+		return nil, ErrNotInRing
+	}
+	for _, p := range ring {
+		if p.IsZero() || !Curve.IsOnCurve(p.X, p.Y) {
+			return nil, ErrBadRingKeys
+		}
+	}
+	order := Curve.Params().N
+	image := stockKeyImage(sk)
+
+	alpha, err := randScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	s := make([]*big.Int, n)
+	c := make([]*big.Int, n)
+
+	agx, agy := Curve.ScalarBaseMult(alpha.Bytes())
+	hpPi := stockHashToPoint(ring[signerIdx])
+	ahx, ahy := Curve.ScalarMult(hpPi.X, hpPi.Y, alpha.Bytes())
+	c[(signerIdx+1)%n] = challenge(msg, Point{agx, agy}, Point{ahx, ahy})
+
+	for off := 1; off < n; off++ {
+		i := (signerIdx + off) % n
+		s[i], err = randScalar(rng)
+		if err != nil {
+			return nil, err
+		}
+		c[(i+1)%n] = stockRingStep(msg, ring[i], image, s[i], c[i])
+	}
+
+	sPi := new(big.Int).Mul(c[signerIdx], sk.D)
+	sPi.Sub(alpha, sPi)
+	sPi.Mod(sPi, order)
+	s[signerIdx] = sPi
+
+	return &Signature{C0: c[0], S: s, Image: image}, nil
+}
+
+// StockVerify is Verify on stock curve ops, with the pre-kernel check
+// structure (lazy in-loop scalar range checks, no caches).
+func StockVerify(sig *Signature, ring []Point, msg []byte) error {
+	n := len(ring)
+	if sig == nil || n < 2 || len(sig.S) != n || sig.C0 == nil {
+		return ErrInvalid
+	}
+	if sig.Image.IsZero() || !Curve.IsOnCurve(sig.Image.X, sig.Image.Y) {
+		return ErrInvalid
+	}
+	for _, p := range ring {
+		if p.IsZero() || !Curve.IsOnCurve(p.X, p.Y) {
+			return ErrBadRingKeys
+		}
+	}
+	order := Curve.Params().N
+	c := new(big.Int).Set(sig.C0)
+	for i := 0; i < n; i++ {
+		if sig.S[i] == nil || sig.S[i].Sign() < 0 || sig.S[i].Cmp(order) >= 0 {
+			return ErrInvalid
+		}
+		c = stockRingStep(msg, ring[i], sig.Image, sig.S[i], c)
+	}
+	if c.Cmp(sig.C0) != 0 {
+		return ErrInvalid
+	}
+	return nil
+}
+
+// stockKeyImage is KeyImage on the stock ops (identical result; kept so the
+// stock path is self-contained).
+func stockKeyImage(k *PrivateKey) Point {
+	hp := stockHashToPoint(k.Public)
+	x, y := Curve.ScalarMult(hp.X, hp.Y, k.D.Bytes())
+	return Point{X: x, Y: y}
+}
+
+// stockRingStep computes one challenge-chain step with unfused stock ops.
+// c may exceed the group order here (a tampered C0 reaches the first step
+// unreduced); Bytes() hands the stock API however many bytes that takes,
+// matching the pre-kernel behaviour.
+func stockRingStep(msg []byte, pub, image Point, s, c *big.Int) *big.Int {
+	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
+	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
+	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
+
+	hp := stockHashToPoint(pub)
+	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
+	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
+	rx, ry := Curve.Add(shx, shy, cix, ciy)
+
+	return challenge(msg, Point{lx, ly}, Point{rx, ry})
+}
+
+// stockHashToPoint is the reference hash-to-point: the same iterated
+// hash-and-increment as hashToPoint, with the square root computed by
+// big.Int ModSqrt and canonicalised to the even root. Must agree
+// bit-for-bit with the compressed-point fast path.
+func stockHashToPoint(p Point) Point {
+	seed := sha256.Sum256(append([]byte(hpDomain), p.Bytes()...))
+	x := new(big.Int).SetBytes(seed[:])
+	x.Mod(x, curveP)
+	one := big.NewInt(1)
+	for i := 0; i < 1000; i++ {
+		if y := evenSqrtRHS(x); y != nil {
+			return Point{X: new(big.Int).Set(x), Y: y}
+		}
+		x.Add(x, one)
+		x.Mod(x, curveP)
+	}
+	panic("ringsig: hash-to-point failed after 1000 attempts")
+}
+
+// evenSqrtRHS returns the even square root of x³ − 3x + b (mod p) when the
+// value is a quadratic residue, nil otherwise.
+func evenSqrtRHS(x *big.Int) *big.Int {
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	threeX := new(big.Int).Lsh(x, 1)
+	threeX.Add(threeX, x)
+	y2.Sub(y2, threeX)
+	y2.Add(y2, curveB)
+	y2.Mod(y2, curveP)
+	y := new(big.Int).ModSqrt(y2, curveP)
+	if y == nil {
+		return nil
+	}
+	// Verify (ModSqrt can misfire only if y2 was not a residue, in which
+	// case it returns nil; this is belt and braces).
+	check := new(big.Int).Mul(y, y)
+	check.Mod(check, curveP)
+	if check.Cmp(y2) != 0 {
+		return nil
+	}
+	if y.Bit(0) == 1 {
+		y.Sub(curveP, y)
+	}
+	return y
+}
+
+// stockLayerPoints is the pre-kernel MLSAG cell computation, the
+// differential baseline for layerPoints.
+func stockLayerPoints(pub, image Point, s, c *big.Int) (Point, Point) {
+	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
+	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
+	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
+
+	hp := stockHashToPoint(pub)
+	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
+	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
+	rx, ry := Curve.Add(shx, shy, cix, ciy)
+	return Point{lx, ly}, Point{rx, ry}
+}

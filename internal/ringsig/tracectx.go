@@ -28,12 +28,32 @@ func SignCtx(ctx context.Context, rng io.Reader, sk *PrivateKey, ring []Point, s
 // The span name is distinct from the framework's Step-3 "verify" stage so
 // the two checks stay separable in the per-stage aggregates.
 func VerifyCtx(ctx context.Context, sig *Signature, ring []Point, msg []byte) error {
+	return defaultEngine.VerifyCtx(ctx, sig, ring, msg)
+}
+
+// VerifyCtx is Engine.Verify recorded as a "verify-sig" span of the trace
+// in ctx.
+func (e *Engine) VerifyCtx(ctx context.Context, sig *Signature, ring []Point, msg []byte) error {
 	sp := trace.StartChild(ctx, "verify-sig")
 	defer sp.End()
 	sp.AnnotateInt("ring_size", int64(len(ring)))
-	err := Verify(sig, ring, msg)
+	err := e.Verify(sig, ring, msg)
 	if err != nil {
 		sp.Annotate("outcome", "invalid")
 	}
 	return err
+}
+
+// VerifyBatchCtx is VerifyBatch recorded as a "verify-batch" span carrying
+// the batch size and how much of it the caches settled.
+func (e *Engine) VerifyBatchCtx(ctx context.Context, reqs []VerifyRequest) BatchResult {
+	sp := trace.StartChild(ctx, "verify-batch")
+	defer sp.End()
+	sp.AnnotateInt("batch_size", int64(len(reqs)))
+	res := e.VerifyBatch(ctx, reqs)
+	sp.AnnotateInt("cache_hits", int64(res.CacheHits))
+	if !res.OK() {
+		sp.Annotate("outcome", "invalid")
+	}
+	return res
 }
