@@ -1,8 +1,8 @@
 // Command tmlint is the repository's project-aware static-analysis suite:
-// ten go/ast + go/types analyzers (cryptorand, lockcheck, atomiccheck,
+// twelve go/ast + go/types analyzers (cryptorand, lockcheck, atomiccheck,
 // errdrop, determinism, setmutation, secretflow, lockorder, ctxpoll,
-// hotalloc) that machine-check the invariants the paper's anonymity
-// guarantees rest on. CI runs `tmlint ./...` as a blocking step; see README
+// hotalloc, tracecheck, cttime) that machine-check the invariants the
+// paper's anonymity guarantees rest on. CI runs `tmlint ./...` as a blocking step; see README
 // "Static analysis" for the policy file format and the //lint:ignore
 // suppression syntax.
 //
@@ -35,7 +35,7 @@ import (
 // analyzerVersion namespaces the fact cache: bump it whenever an analyzer's
 // behaviour, message format, scope, or the driver's suppression semantics
 // change, so stale cached diagnostics can never survive an upgrade.
-const analyzerVersion = "tmlint-7"
+const analyzerVersion = "tmlint-8"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

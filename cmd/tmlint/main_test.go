@@ -43,18 +43,20 @@ func TestRunExitCodes(t *testing.T) {
 }
 
 // TestRunPolicyDeny exercises the deny action end to end: the scoped
-// cryptorand and determinism fixtures lie outside their analyzers' scopes
-// under the natural testdata paths, and a deny rule drags them back in.
+// cryptorand, determinism and cttime fixtures lie outside their analyzers'
+// scopes under the natural testdata paths, and a deny rule drags them back
+// in.
 func TestRunPolicyDeny(t *testing.T) {
 	pol := filepath.Join(t.TempDir(), "policy.json")
 	rules := `{"rules":[
 		{"analyzer":"cryptorand","path":"internal/analysis/testdata/cryptorand","action":"deny","reason":"exercise deny"},
-		{"analyzer":"determinism","path":"internal/analysis/testdata/determinism","action":"deny","reason":"exercise deny"}]}`
+		{"analyzer":"determinism","path":"internal/analysis/testdata/determinism","action":"deny","reason":"exercise deny"},
+		{"analyzer":"cttime","path":"internal/analysis/testdata/cttime","action":"deny","reason":"exercise deny"}]}`
 	if err := os.WriteFile(pol, []byte(rules), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	for _, name := range []string{"cryptorand", "determinism"} {
+	for _, name := range []string{"cryptorand", "determinism", "cttime"} {
 		if got := run([]string{fixture(name)}, io.Discard, io.Discard); got != 0 {
 			t.Errorf("without the deny rule the %s fixture is out of scope: exit %d, want 0", name, got)
 		}
@@ -110,6 +112,36 @@ func TestRunJSON(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &empty); err != nil || len(empty) != 0 {
 		t.Fatalf("clean run should emit an empty JSON array, got %q (err %v)", stdout.String(), err)
 	}
+
+	// The interprocedural cttime analyzer reports through the same shape;
+	// a deny rule pulls its fixture into scope under the testdata path.
+	pol := filepath.Join(t.TempDir(), "policy.json")
+	rule := `{"rules":[{"analyzer":"cttime","path":"internal/analysis/testdata/cttime","action":"deny","reason":"exercise json"}]}`
+	if err := os.WriteFile(pol, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if got := run([]string{"-json", "-policy", pol, fixture("cttime")}, &stdout, io.Discard); got != 1 {
+		t.Fatalf("tmlint -json on the cttime fixture: exit %d, want 1", got)
+	}
+	diags = diags[:0]
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("cttime stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected at least one cttime finding in the JSON output")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "cttime" {
+			t.Errorf("analyzer = %q, want cttime", d.Analyzer)
+		}
+		if d.Line <= 0 || d.Column <= 0 || d.Message == "" {
+			t.Errorf("cttime finding missing position or message: %+v", d)
+		}
+		if !strings.HasPrefix(d.File, "internal/analysis/testdata/cttime/") {
+			t.Errorf("file %q is not module-relative slash form", d.File)
+		}
+	}
 }
 
 // TestProblemMatcherShape checks the text output line format against the
@@ -135,15 +167,32 @@ func TestProblemMatcherShape(t *testing.T) {
 		t.Fatal("problem matcher has no pattern")
 	}
 
+	re := regexpMustCompile(t, matcher.ProblemMatcher[0].Pattern[0].Regexp)
+
 	var stdout bytes.Buffer
 	if got := run([]string{fixture("errdrop")}, &stdout, io.Discard); got != 1 {
 		t.Fatalf("errdrop fixture: exit %d, want 1", got)
 	}
-	re := regexpMustCompile(t, matcher.ProblemMatcher[0].Pattern[0].Regexp)
-	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
-	for _, line := range lines {
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
 		if !re.MatchString(line) {
 			t.Errorf("output line does not match the problem matcher regexp:\n  line:   %s\n  regexp: %s", line, re)
+		}
+	}
+
+	// cttime messages (multi-clause, "via call to …") must stay matchable
+	// too; a deny rule pulls the fixture into the scoped analyzer's range.
+	pol := filepath.Join(t.TempDir(), "policy.json")
+	rule := `{"rules":[{"analyzer":"cttime","path":"internal/analysis/testdata/cttime","action":"deny","reason":"exercise matcher"}]}`
+	if err := os.WriteFile(pol, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if got := run([]string{"-policy", pol, fixture("cttime")}, &stdout, io.Discard); got != 1 {
+		t.Fatalf("cttime fixture: exit %d, want 1", got)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !re.MatchString(line) {
+			t.Errorf("cttime line does not match the problem matcher regexp:\n  line:   %s\n  regexp: %s", line, re)
 		}
 	}
 }

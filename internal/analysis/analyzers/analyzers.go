@@ -26,6 +26,7 @@ func All() []*analysis.Analyzer {
 		Ctxpoll,
 		Hotalloc,
 		Tracecheck,
+		Cttime,
 	}
 }
 

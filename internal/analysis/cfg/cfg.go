@@ -157,10 +157,10 @@ func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
 		return b.rangeStmt(cur, s, "")
 
 	case *ast.SwitchStmt:
-		return b.switchStmt(cur, s.Init, s.Tag != nil, bodyOf(s.Body), "")
+		return b.switchStmt(cur, s.Init, s.Tag, bodyOf(s.Body), "")
 
 	case *ast.TypeSwitchStmt:
-		return b.switchStmt(cur, s.Init, false, bodyOf(s.Body), "")
+		return b.switchStmt(cur, s.Init, nil, bodyOf(s.Body), "")
 
 	case *ast.SelectStmt:
 		return b.selectStmt(cur, s, "")
@@ -194,9 +194,9 @@ func (b *builder) labeled(cur *Block, s *ast.LabeledStmt) *Block {
 	case *ast.RangeStmt:
 		return b.rangeStmt(start, inner, name)
 	case *ast.SwitchStmt:
-		return b.switchStmt(start, inner.Init, inner.Tag != nil, bodyOf(inner.Body), name)
+		return b.switchStmt(start, inner.Init, inner.Tag, bodyOf(inner.Body), name)
 	case *ast.TypeSwitchStmt:
-		return b.switchStmt(start, inner.Init, false, bodyOf(inner.Body), name)
+		return b.switchStmt(start, inner.Init, nil, bodyOf(inner.Body), name)
 	case *ast.SelectStmt:
 		return b.selectStmt(start, inner, name)
 	default:
@@ -344,10 +344,15 @@ func bodyOf(body *ast.BlockStmt) []ast.Stmt {
 }
 
 // switchStmt covers switch and type switch: each case body branches from
-// the head; fallthrough chains to the next case body.
-func (b *builder) switchStmt(cur *Block, init ast.Stmt, hasTag bool, clauses []ast.Stmt, label string) *Block {
+// the head; fallthrough chains to the next case body. A non-nil tag
+// expression evaluates in the head block (as a synthetic ExprStmt, like
+// if/for conditions), so dataflow analyses see switch dispatch operands.
+func (b *builder) switchStmt(cur *Block, init ast.Stmt, tag ast.Expr, clauses []ast.Stmt, label string) *Block {
 	if init != nil {
 		cur = b.stmt(cur, init)
+	}
+	if tag != nil {
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: tag})
 	}
 	join := b.newBlock()
 	b.breakTo = append(b.breakTo, join)

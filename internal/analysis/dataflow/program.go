@@ -33,6 +33,10 @@ type Func struct {
 
 	// Hotpath marks //tmlint:hotpath functions (hotalloc scope).
 	Hotpath bool
+	// Vartime marks //tmlint:vartime functions: their execution time
+	// depends on operand values (wNAF ladders, comb lookups), so cttime
+	// reports any secret-derived argument or receiver at their call sites.
+	Vartime bool
 	// SecretParams holds the zero-based parameter indices declared secret
 	// via `//tmlint:secret name...` in the function's doc comment.
 	SecretParams map[int]bool
@@ -41,6 +45,7 @@ type Func struct {
 	SecretResults bool
 
 	taint      *TaintSummary
+	ct         *CTSummary
 	polls      bool
 	locks      *LockSummary
 	hotalloc   *AllocSummary
@@ -70,12 +75,14 @@ type Program struct {
 	// concurrently across packages, so each fact family computes under its
 	// own Once. Results are immutable afterwards.
 	taintOnce    sync.Once
+	ctOnce       sync.Once
 	pollsOnce    sync.Once
 	locksOnce    sync.Once
 	hotallocOnce sync.Once
 	netOnce      sync.Once
 
 	taintFindings []Finding
+	ctFindings    []Finding
 	lockFindings  []Finding
 }
 
@@ -180,9 +187,9 @@ func (p *Program) indexSecretFields(pkg *analysis.Package, decl *ast.GenDecl) {
 	})
 }
 
-// parseFuncDirectives reads //tmlint:hotpath and //tmlint:secret from the
-// function's doc comment. A bare secret directive marks the results
-// secret; named forms mark the listed parameters.
+// parseFuncDirectives reads //tmlint:hotpath, //tmlint:vartime and
+// //tmlint:secret from the function's doc comment. A bare secret directive
+// marks the results secret; named forms mark the listed parameters.
 func (p *Program) parseFuncDirectives(fn *Func) {
 	if fn.Decl.Doc == nil {
 		return
@@ -190,6 +197,10 @@ func (p *Program) parseFuncDirectives(fn *Func) {
 	for _, c := range fn.Decl.Doc.List {
 		if strings.HasPrefix(c.Text, "//tmlint:hotpath") {
 			fn.Hotpath = true
+			continue
+		}
+		if strings.HasPrefix(c.Text, "//tmlint:vartime") {
+			fn.Vartime = true
 			continue
 		}
 		rest, ok := strings.CutPrefix(c.Text, "//tmlint:secret")

@@ -142,6 +142,10 @@ func TestGolden(t *testing.T) {
 			importPath: "tokenmagic/internal/selector/tracecheckfix", analyzer: "tracecheck"},
 		{name: "tracecheck_out_of_scope", dir: "tracecheck",
 			importPath: "tokenmagic/internal/chain/tracecheckfix", analyzer: "tracecheck", outOfScope: true},
+		{name: "cttime", dir: "cttime",
+			importPath: "tokenmagic/internal/ringsig/cttimefix", analyzer: "cttime"},
+		{name: "cttime_out_of_scope", dir: "cttime",
+			importPath: "tokenmagic/internal/chain/cttimefix", analyzer: "cttime", outOfScope: true},
 	}
 
 	for _, tc := range cases {

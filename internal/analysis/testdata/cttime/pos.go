@@ -1,0 +1,120 @@
+// Fixture for cttime: secret-annotated values must not influence timing —
+// no flow into branch/loop/switch conditions, slice/array/map indexing,
+// variable-width big.Int methods, or //tmlint:vartime functions, including
+// through module-local helpers (cross-function cases).
+package cttimefix
+
+import "math/big"
+
+// Key mirrors ringsig.PrivateKey: the scalar is secret, the public half is
+// not.
+type Key struct {
+	//tmlint:secret
+	D *big.Int
+	// Pub is public by construction.
+	Pub string
+}
+
+// ladder mirrors the verify-only wNAF/comb kernels: fast precisely because
+// its branches and table indices follow scalar digits.
+//
+//tmlint:vartime
+func ladder(e *big.Int) int {
+	return e.BitLen()
+}
+
+func branchOnSecret(k *Key) int {
+	if k.D.Sign() > 0 { // want "secret-dependent value reaches branch condition"
+		return 1
+	}
+	return 0
+}
+
+// cmpBranch is the "Cmp feeding a branch" case: Cmp itself propagates, the
+// branch is the reported sink.
+func cmpBranch(k *Key, bound *big.Int) int {
+	if k.D.Cmp(bound) > 0 { // want "secret-dependent value reaches branch condition"
+		return 1
+	}
+	return 0
+}
+
+func loopOnSecret(k *Key) int {
+	n := 0
+	for i := int64(0); i < k.D.Int64(); i++ { // want "secret-dependent value reaches loop condition"
+		n++
+	}
+	return n
+}
+
+func switchOnSecret(k *Key) int {
+	switch k.D.Bit(0) { // want "secret-dependent value reaches switch condition"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func tableLookup(k *Key, tbl []int) int {
+	return tbl[k.D.Bit(3)] // want "secret-dependent value reaches slice/map index"
+}
+
+func mapProbe(k *Key, m map[int64]int) int {
+	return m[k.D.Int64()] // want "secret-dependent value reaches slice/map index"
+}
+
+// widthLeak: the encoding's byte count follows the scalar's leading zeros.
+func widthLeak(k *Key) []byte {
+	return k.D.Bytes() // want "secret-dependent value reaches variable-width big.Int.Bytes"
+}
+
+func bitLenLeak(k *Key) bool {
+	return k.D.BitLen() < 200 // want "secret-dependent value reaches variable-width big.Int.BitLen"
+}
+
+// windowed demonstrates the named-parameter directive form, and that
+// FillBytes carries taint into its destination buffer.
+//
+//tmlint:secret alpha
+func windowed(alpha *big.Int, tbl []int) int {
+	var buf [32]byte
+	alpha.FillBytes(buf[:])
+	return tbl[buf[0]] // want "secret-dependent value reaches slice/map index"
+}
+
+func vartimeDirect(k *Key) int {
+	return ladder(k.D) // want "secret-dependent value reaches variable-time function ladder"
+}
+
+// helper routes its parameter into the vartime kernel; the flow is reported
+// at the caller's site via the summary.
+func helper(x *big.Int) int {
+	return ladder(x)
+}
+
+func vartimeViaHelper(k *Key) int {
+	return helper(k.D) // want "secret-dependent value reaches variable-time function ladder via call to helper"
+}
+
+// nonce mirrors ringsig.randScalar: its result is a secret.
+//
+//tmlint:secret
+func nonce() *big.Int { return big.NewInt(11) }
+
+func nonceBranch() int {
+	if nonce().Sign() == 0 { // want "secret-dependent value reaches branch condition"
+		return 0
+	}
+	return 1
+}
+
+// Signer covers the receiver-taint path: a secret field reached through the
+// method receiver.
+type Signer struct {
+	//tmlint:secret
+	x *big.Int
+}
+
+func (sg *Signer) respond(tbl []int) int {
+	return tbl[sg.x.BitLen()%8] // want "secret-dependent value reaches"
+}

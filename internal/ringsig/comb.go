@@ -75,7 +75,10 @@ func trailingZeros8(v uint8) uint {
 }
 
 // combColumn extracts column j of the comb bit matrix from a 32-byte
-// big-endian scalar: bit t of the result is scalar bit j + 32t.
+// big-endian scalar: bit t of the result is scalar bit j + 32t. The result
+// indexes the comb table, so the access pattern follows the scalar.
+//
+//tmlint:vartime
 func combColumn(sb *[32]byte, j int) uint8 {
 	var col uint8
 	for t := 0; t < combTeeth; t++ {

@@ -232,6 +232,9 @@ const wnafWidth = 5
 
 // wnafDigits recodes k (0 ≤ k < N) into width-w non-adjacent form,
 // little-endian: k = Σ d[i]·2^i with d[i] ∈ {0, ±1, ±3, …, ±(2^(w-1)-1)}.
+// The digit stream's length and density follow k's bit pattern.
+//
+//tmlint:vartime
 func wnafDigits(k *big.Int, w uint) []int8 {
 	if k.Sign() == 0 {
 		return nil
@@ -272,7 +275,10 @@ var smallInts = func() [16]*big.Int {
 }()
 
 // oddMultiples fills tbl with the odd multiples {1, 3, 5, …, 15}·p in
-// affine coordinates — the wNAF lookup table for one variable point.
+// affine coordinates — the wNAF lookup table for one variable point. The
+// ladders index this table by scalar digit, a classic address side channel.
+//
+//tmlint:vartime
 func oddMultiples(p Point, tbl *[8]Point) {
 	s := newJacScratch()
 	twoP := newJacPoint().setAffine(p)
@@ -289,7 +295,10 @@ func oddMultiples(p Point, tbl *[8]Point) {
 // strausBaseVar computes s·G + c·P with one interleaved ladder: the comb
 // table supplies the fixed-base teeth (32 additions, no doublings of its
 // own) and wNAF digits of c drive the variable-point additions, all over a
-// single shared run of doublings.
+// single shared run of doublings. Branches and table indices follow scalar
+// digits — verify-only, never for secrets.
+//
+//tmlint:vartime
 func strausBaseVar(sc, c *big.Int, pub Point) Point {
 	comb := combTableG()
 	var sb [32]byte
@@ -326,7 +335,10 @@ func strausBaseVar(sc, c *big.Int, pub Point) Point {
 }
 
 // strausVarVar computes a·Q + b·R for two variable points with one shared
-// ladder and two wNAF digit streams.
+// ladder and two wNAF digit streams. Branches and table indices follow
+// scalar digits — verify-only, never for secrets.
+//
+//tmlint:vartime
 func strausVarVar(a *big.Int, q Point, b *big.Int, r Point) Point {
 	ad := wnafDigits(reduceScalar(a), wnafWidth)
 	bd := wnafDigits(reduceScalar(b), wnafWidth)

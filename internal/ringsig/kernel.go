@@ -32,9 +32,12 @@ type combinedMulter interface {
 
 var p256Combined, p256HasCombined = Curve.(combinedMulter)
 
-// mulPairBase returns s·G + c·P for public verification scalars.
+// mulPairBase returns s·G + c·P for public verification scalars. The
+// underlying ladders branch on scalar digits, so secret scalars must never
+// reach this entry point (cttime enforces the annotation).
 //
 //tmlint:hotpath
+//tmlint:vartime
 func mulPairBase(s, c *big.Int, pub Point) Point {
 	if p256HasCombined {
 		var sb, cb [32]byte
@@ -47,9 +50,11 @@ func mulPairBase(s, c *big.Int, pub Point) Point {
 	return strausBaseVar(s, c, pub)
 }
 
-// mulPair returns a·Q + b·R for public verification scalars.
+// mulPair returns a·Q + b·R for public verification scalars. Same
+// variable-time contract as mulPairBase.
 //
 //tmlint:hotpath
+//tmlint:vartime
 func mulPair(a *big.Int, q Point, b *big.Int, r Point) Point {
 	if p256HasCombined {
 		var ab, bb [32]byte

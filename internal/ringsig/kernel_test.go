@@ -331,17 +331,20 @@ func TestVerifyBatchNegatives(t *testing.T) {
 	t.Run("worker counts agree", func(t *testing.T) {
 		bad := append([]VerifyRequest{}, reqs...)
 		bad[5] = VerifyRequest{Sig: mutateSig(sigs[5], ring)[0], Ring: ring, Msg: msg(5)}
+		// The single-worker run is the baseline, so it must go first —
+		// iterating a map here left base unset whenever another width drew
+		// the first slot, indexing the nil Errs slice.
 		var base BatchResult
-		for w, first := range map[int]bool{1: true, 2: false, 4: false, 8: false} {
+		for _, w := range []int{1, 2, 4, 8} {
 			res := (&Engine{Workers: w}).VerifyBatch(context.Background(), bad)
-			if first {
+			if w == 1 {
 				base = res
 			}
 			if res.FirstFailure != 5 {
 				t.Fatalf("workers=%d: FirstFailure = %d, want 5", w, res.FirstFailure)
 			}
 			for i := range res.Errs {
-				if (res.Errs[i] == nil) != (base.Errs[i] == nil) && base.Errs != nil {
+				if (res.Errs[i] == nil) != (base.Errs[i] == nil) {
 					t.Fatalf("workers=%d: decision for %d differs", w, i)
 				}
 			}

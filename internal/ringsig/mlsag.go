@@ -2,6 +2,7 @@ package ringsig
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -102,7 +103,7 @@ func MultiSign(rng io.Reader, keys []*PrivateKey, matrix [][]Point, signerIdx in
 		var parts []Point
 		for j := 0; j < m; j++ {
 			var err error
-			s[i][j], err = randScalar(rng)
+			s[i][j], err = randResponse(rng)
 			if err != nil {
 				return nil, err
 			}
@@ -203,9 +204,21 @@ func layerPoints(pub, image Point, s, c *big.Int) (Point, Point) {
 }
 
 // multiChallenge hashes a transcript of points into a scalar.
+//
+// The v2 transcript is length-unambiguous: v1 concatenated the raw message
+// directly before the 65-byte point parts, so for a fixed total byte stream
+// the (msg, parts) split was not unique — a message ending in a valid point
+// encoding aliased against a transcript with one more column. v2 frames the
+// message length and the part count, which pins the split for any m. The
+// domain tag is bumped so old and new transcripts can never collide with
+// each other; MLSAG signatures are created and verified by the same binary
+// (no persisted vectors), so the bump has no wire impact.
 func multiChallenge(msg []byte, parts []Point) *big.Int {
 	h := sha256.New()
-	hashWrite(h, []byte("tokenmagic/mlsag/v1"), msg)
+	var frame [16]byte
+	binary.LittleEndian.PutUint64(frame[:8], uint64(len(msg)))
+	binary.LittleEndian.PutUint64(frame[8:], uint64(len(parts)))
+	hashWrite(h, []byte("tokenmagic/mlsag/v2"), frame[:], msg)
 	for _, p := range parts {
 		hashWrite(h, p.Bytes())
 	}

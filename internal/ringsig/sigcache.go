@@ -78,18 +78,21 @@ func (c *SigCache) Len() int {
 	return len(c.cur) + len(c.prev)
 }
 
-// transcriptKey hashes the full verification transcript. All fixed-width
-// fields use 32-byte encodings and the variable-width ones (message, ring
-// length, an out-of-range C0) are length-framed, so distinct transcripts
-// cannot collide by concatenation. The caller guarantees ring points and
-// response scalars are structurally valid (checked before the cache is
-// consulted); C0 is the one field an attacker controls without a range
-// check, hence its length framing.
+// transcriptKey hashes the full verification transcript. Every scalar and
+// coordinate uses a fixed 32-byte encoding and the two variable-length
+// dimensions (message bytes, ring size) are length-framed, so distinct
+// transcripts cannot collide by concatenation — no field's byte width
+// depends on its value. The caller guarantees structural validity before
+// the cache is consulted: verifyOne rejects out-of-range C0 (and nil or
+// oversized fields) before calling here, so FillBytes(32) cannot panic.
+// v1 encoded C0 variable-width with a length frame; v2 makes it fixed-width
+// like every other scalar, and bumps the domain tag so v1 and v2 keys live
+// in disjoint spaces (cache-internal only — keys never leave the process).
 func transcriptKey(sig *Signature, ring []Point, msg []byte) [32]byte {
 	h := sha256.New()
 	var n8 [8]byte
 	var w [32]byte
-	hashWrite(h, []byte("tokenmagic/sigcache/v1"))
+	hashWrite(h, []byte("tokenmagic/sigcache/v2"))
 	binary.LittleEndian.PutUint64(n8[:], uint64(len(msg)))
 	hashWrite(h, n8[:], msg)
 	binary.LittleEndian.PutUint64(n8[:], uint64(len(ring)))
@@ -100,9 +103,8 @@ func transcriptKey(sig *Signature, ring []Point, msg []byte) [32]byte {
 		p.Y.FillBytes(w[:])
 		hashWrite(h, w[:])
 	}
-	c0 := sig.C0.Bytes()
-	binary.LittleEndian.PutUint64(n8[:], uint64(len(c0)))
-	hashWrite(h, n8[:], c0)
+	sig.C0.FillBytes(w[:])
+	hashWrite(h, w[:])
 	for _, s := range sig.S {
 		s.FillBytes(w[:])
 		hashWrite(h, w[:])

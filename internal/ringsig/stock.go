@@ -52,14 +52,20 @@ func StockSign(rng io.Reader, sk *PrivateKey, ring []Point, signerIdx int, msg [
 	s := make([]*big.Int, n)
 	c := make([]*big.Int, n)
 
-	agx, agy := Curve.ScalarBaseMult(alpha.Bytes())
+	// α is a secret nonce: encode it fixed-width so the byte length handed
+	// to the curve ops never depends on its leading zero bits. The point
+	// results are identical (same scalar value), which the differential
+	// tests in cttime_fix_test.go pin down byte-for-byte.
+	var ab [32]byte
+	alpha.FillBytes(ab[:])
+	agx, agy := Curve.ScalarBaseMult(ab[:])
 	hpPi := stockHashToPoint(ring[signerIdx])
-	ahx, ahy := Curve.ScalarMult(hpPi.X, hpPi.Y, alpha.Bytes())
+	ahx, ahy := Curve.ScalarMult(hpPi.X, hpPi.Y, ab[:])
 	c[(signerIdx+1)%n] = challenge(msg, Point{agx, agy}, Point{ahx, ahy})
 
 	for off := 1; off < n; off++ {
 		i := (signerIdx + off) % n
-		s[i], err = randScalar(rng)
+		s[i], err = randResponse(rng)
 		if err != nil {
 			return nil, err
 		}
@@ -107,22 +113,28 @@ func StockVerify(sig *Signature, ring []Point, msg []byte) error {
 // stock path is self-contained).
 func stockKeyImage(k *PrivateKey) Point {
 	hp := stockHashToPoint(k.Public)
-	x, y := Curve.ScalarMult(hp.X, hp.Y, k.D.Bytes())
+	var kb [32]byte
+	k.D.FillBytes(kb[:])
+	x, y := Curve.ScalarMult(hp.X, hp.Y, kb[:])
 	return Point{X: x, Y: y}
 }
 
 // stockRingStep computes one challenge-chain step with unfused stock ops.
-// c may exceed the group order here (a tampered C0 reaches the first step
-// unreduced); Bytes() hands the stock API however many bytes that takes,
-// matching the pre-kernel behaviour.
+// Scalars are reduced mod N and encoded fixed-width: c may exceed the group
+// order here (a tampered C0 reaches the first step unreduced), and for
+// 0 ≤ k the curve computes k·P = (k mod N)·P anyway, so the reduction
+// changes no point and keeps FillBytes from panicking on oversized input.
 func stockRingStep(msg []byte, pub, image Point, s, c *big.Int) *big.Int {
-	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
-	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
+	var sb, cb [32]byte
+	reduceScalar(s).FillBytes(sb[:])
+	reduceScalar(c).FillBytes(cb[:])
+	sgx, sgy := Curve.ScalarBaseMult(sb[:])
+	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, cb[:])
 	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
 
 	hp := stockHashToPoint(pub)
-	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
-	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
+	shx, shy := Curve.ScalarMult(hp.X, hp.Y, sb[:])
+	cix, ciy := Curve.ScalarMult(image.X, image.Y, cb[:])
 	rx, ry := Curve.Add(shx, shy, cix, ciy)
 
 	return challenge(msg, Point{lx, ly}, Point{rx, ry})
@@ -177,13 +189,16 @@ func evenSqrtRHS(x *big.Int) *big.Int {
 // stockLayerPoints is the pre-kernel MLSAG cell computation, the
 // differential baseline for layerPoints.
 func stockLayerPoints(pub, image Point, s, c *big.Int) (Point, Point) {
-	sgx, sgy := Curve.ScalarBaseMult(s.Bytes())
-	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, c.Bytes())
+	var sb, cb [32]byte
+	reduceScalar(s).FillBytes(sb[:])
+	reduceScalar(c).FillBytes(cb[:])
+	sgx, sgy := Curve.ScalarBaseMult(sb[:])
+	cpx, cpy := Curve.ScalarMult(pub.X, pub.Y, cb[:])
 	lx, ly := Curve.Add(sgx, sgy, cpx, cpy)
 
 	hp := stockHashToPoint(pub)
-	shx, shy := Curve.ScalarMult(hp.X, hp.Y, s.Bytes())
-	cix, ciy := Curve.ScalarMult(image.X, image.Y, c.Bytes())
+	shx, shy := Curve.ScalarMult(hp.X, hp.Y, sb[:])
+	cix, ciy := Curve.ScalarMult(image.X, image.Y, cb[:])
 	rx, ry := Curve.Add(shx, shy, cix, ciy)
 	return Point{lx, ly}, Point{rx, ry}
 }
