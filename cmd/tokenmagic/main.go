@@ -64,6 +64,8 @@ func main() {
 		err = cmdSim(os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -88,7 +90,8 @@ subcommands:
   serve       run a full node serving batch data over HTTP
   lightselect select mixins as a light node against a running full node
   sim         run the multi-user batch lifecycle simulation
-  snapshot    save a generated data set to a file, or summarise one`)
+  snapshot    save a generated data set to a file, or summarise one
+  recover     open a -data-dir, report what recovery found, verify stability`)
 }
 
 func loadDataset(kind string, seed int64) (*workload.Dataset, error) {

@@ -15,6 +15,7 @@ import (
 	"tokenmagic/internal/obs"
 	"tokenmagic/internal/obs/trace"
 	"tokenmagic/internal/selector"
+	"tokenmagic/internal/store"
 	"tokenmagic/internal/tokenmagic"
 )
 
@@ -97,6 +98,7 @@ func cmdServe(args []string) error {
 	allowUnsigned := fs.Bool("allow-unsigned", false, "accept submissions without ring signatures (experiments only)")
 	spendKeys := fs.Bool("spend-keys", false, "generate per-token keys and serve the server-signed /v1/spend pipeline (load testing only)")
 	traces := fs.Bool("traces", true, "record request traces (export on the -metrics port at /debug/traces)")
+	sf := registerStoreFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,7 +110,30 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fn, err := newFullNode(d.Ledger, *lambda, *eta, *allowUnsigned, *spendKeys)
+	led := d.Ledger
+	if *sf.dataDir != "" {
+		st, err := sf.open(*lambda)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				slog.Error("store close", "err", cerr)
+			}
+		}()
+		if st.Ledger.Epoch() == 0 {
+			// Fresh data dir: seed it with the generated chain so the first
+			// run and every restart serve the same history.
+			if err := store.Seed(st.Ledger, d.Ledger.View()); err != nil {
+				return err
+			}
+			slog.Info("store seeded from data set", "kind", *kind, "seed", *seed, "epoch", st.Ledger.Epoch())
+		} else {
+			slog.Info("store resumed", "epoch", st.Ledger.Epoch(), "rings", st.Ledger.NumRS())
+		}
+		led = st.Ledger
+	}
+	fn, err := newFullNode(led, *lambda, *eta, *allowUnsigned, *spendKeys)
 	if err != nil {
 		return err
 	}
@@ -117,11 +142,12 @@ func cmdServe(args []string) error {
 	}
 	slog.Info("full node up",
 		"kind", *kind,
-		"tokens", d.Ledger.NumTokens(),
-		"rings", d.Ledger.NumRS(),
+		"tokens", led.NumTokens(),
+		"rings", led.NumRS(),
 		"lambda", *lambda,
 		"eta", *eta,
-		"addr", *addr)
+		"addr", *addr,
+		"data_dir", *sf.dataDir)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           fn.handler,

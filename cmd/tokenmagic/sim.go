@@ -3,10 +3,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/sim"
+	"tokenmagic/internal/store"
 )
 
 // cmdSim runs the multi-user batch lifecycle simulation and prints the
@@ -22,6 +24,7 @@ func cmdSim(args []string) error {
 	metricsAddr := fs.String("metrics", "", "operator listen address live during the run (/debug/vars, /debug/metrics, pprof)")
 	withPprof := fs.Bool("pprof", true, "mount net/http/pprof on the -metrics port")
 	logLevel := fs.String("log-level", "info", "slog level: debug|info|warn|error")
+	sf := registerStoreFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,7 +34,7 @@ func cmdSim(args []string) error {
 	if *metricsAddr != "" {
 		serveOperator(*metricsAddr, *withPprof)
 	}
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Tokens:        *tokens,
 		Sigma:         *sigma,
 		Strategies:    sim.DefaultMix(),
@@ -39,7 +42,35 @@ func cmdSim(args []string) error {
 		SnapshotEvery: *every,
 		Eta:           *eta,
 		Seed:          *seed,
-	})
+	}
+	if *sf.dataDir != "" {
+		st, err := sf.open(*tokens)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				slog.Error("store close", "err", cerr)
+			}
+		}()
+		cfg.Persist = func(gen *chain.Ledger) (*chain.Ledger, error) {
+			if st.Ledger.Epoch() == 0 {
+				// Fresh data dir: write the generated history through the
+				// journal so a restart regenerates nothing.
+				if err := store.Seed(st.Ledger, gen.View()); err != nil {
+					return nil, err
+				}
+				slog.Info("store seeded from generated chain", "epoch", st.Ledger.Epoch())
+			} else {
+				// Crash/restart: resume the recovered mid-run chain. Spends
+				// already on it stay committed; the run extends it.
+				slog.Info("store resumed mid-run",
+					"epoch", st.Ledger.Epoch(), "rings", st.Ledger.NumRS())
+			}
+			return st.Ledger, nil
+		}
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}

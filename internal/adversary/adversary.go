@@ -274,6 +274,18 @@ func (ns *NeighborSets) Append(r chain.RingRecord) {
 	ns.consumed = provablyConsumed(ns.rings)
 }
 
+// Clone returns a copy that can be Appended to without disturbing the
+// receiver: the ring slice is re-capped so the clone's first append
+// reallocates instead of scribbling into the shared backing array, and the
+// consumed set is replaced wholesale by Append, never mutated. tokenmagic
+// uses this to publish copy-on-write guard state per epoch.
+func (ns *NeighborSets) Clone() *NeighborSets {
+	return &NeighborSets{
+		rings:    ns.rings[:len(ns.rings):len(ns.rings)],
+		consumed: ns.consumed,
+	}
+}
+
 // WouldConsume reports how many tokens would be provably consumed if r were
 // appended, without mutating state. The η guard calls this before admitting
 // a candidate ring.

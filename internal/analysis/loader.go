@@ -220,6 +220,12 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
+		// Respect //go:build constraints and GOOS/GOARCH file suffixes, or
+		// platform-gated pairs (lock_unix.go / lock_stub.go) both land in the
+		// same package and redeclare each other.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)

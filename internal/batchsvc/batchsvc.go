@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/obs"
@@ -57,10 +58,13 @@ type RingInfo struct {
 	L      int            `json:"l"`
 }
 
-// Server serves one ledger's batch data. Requests run under a read lock and
-// RefreshBatches/UpdateLedger under the write lock, so refreshing after the
-// chain grew is safe while serving. Mutating the ledger directly, without
-// going through UpdateLedger, still requires request quiescence.
+// Server serves one ledger's batch data. Requests pin an immutable
+// (view, batch-list) snapshot with one atomic load, so they never contend
+// with RefreshBatches/UpdateLedger; each request is answered from a single
+// consistent chain generation even while the ledger grows mid-flight.
+// Mutating the ledger directly, without going through UpdateLedger, is
+// tolerated — the stale snapshot stays internally consistent — but answers
+// lag until the next RefreshBatches.
 type Server struct {
 	// MaxInFlight caps concurrently executing requests and MaxQueue the
 	// waiting room behind them (obs.LimitConcurrency); over-capacity
@@ -69,48 +73,59 @@ type Server struct {
 	MaxInFlight int
 	MaxQueue    int
 
-	mu      sync.RWMutex
+	// writeMu serialises the mutators; requests never take it.
+	writeMu sync.Mutex
 	ledger  *chain.Ledger
 	lambda  int
+	snap    atomic.Pointer[svcSnapshot]
+}
+
+// svcSnapshot is one immutable generation of the served chain: a ledger
+// view and the batch list derived from it.
+type svcSnapshot struct {
+	view    *chain.View
 	batches *chain.BatchList
 }
 
 // NewServer builds a full-node server over the ledger.
 func NewServer(ledger *chain.Ledger, lambda int) (*Server, error) {
-	bl, err := chain.BuildBatches(ledger, lambda)
-	if err != nil {
+	s := &Server{ledger: ledger, lambda: lambda}
+	if err := s.rebuild(); err != nil {
 		return nil, err
 	}
-	return &Server{ledger: ledger, lambda: lambda, batches: bl}, nil
+	return s, nil
 }
 
-// RefreshBatches recomputes the batch list after the chain grew. Safe to
-// call while requests are in flight.
-func (s *Server) RefreshBatches() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.refreshLocked()
-}
-
-func (s *Server) refreshLocked() error {
-	bl, err := chain.BuildBatches(s.ledger, s.lambda)
+// rebuild derives a fresh snapshot from the ledger's current view and
+// publishes it. Callers hold writeMu (or own the server, as NewServer does).
+func (s *Server) rebuild() error {
+	v := s.ledger.View()
+	bl, err := chain.BuildBatchesView(v, s.lambda)
 	if err != nil {
 		return err
 	}
-	s.batches = bl
+	s.snap.Store(&svcSnapshot{view: v, batches: bl})
 	return nil
 }
 
-// UpdateLedger runs fn with exclusive access to the served ledger and then
-// rebuilds the batch list before requests resume: the safe way to append
-// blocks while serving.
+// RefreshBatches recomputes the batch list after the chain grew. Safe to
+// call while requests are in flight; they keep their pinned snapshot.
+func (s *Server) RefreshBatches() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.rebuild()
+}
+
+// UpdateLedger runs fn with exclusive write access to the ledger and then
+// publishes a fresh snapshot: the safe way to append blocks while serving.
+// In-flight requests keep answering from the pre-mutation snapshot.
 func (s *Server) UpdateLedger(fn func(*chain.Ledger) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := fn(s.ledger); err != nil {
 		return err
 	}
-	return s.refreshLocked()
+	return s.rebuild()
 }
 
 // Handler returns the HTTP handler implementing the protocol, wrapped with
@@ -130,46 +145,44 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.snap.Load()
 	writeJSON(w, Meta{
 		Lambda:  s.lambda,
-		Blocks:  s.ledger.NumBlocks(),
-		Tokens:  s.ledger.NumTokens(),
-		Rings:   s.ledger.NumRS(),
-		Batches: s.batches.Len(),
+		Blocks:  sn.view.NumBlocks(),
+		Tokens:  sn.view.NumTokens(),
+		Rings:   sn.view.NumRS(),
+		Batches: sn.batches.Len(),
 	})
 }
 
-func (s *Server) batchFromQuery(r *http.Request) (chain.Batch, error) {
+func (sn *svcSnapshot) batchFromQuery(r *http.Request) (chain.Batch, error) {
 	q := r.URL.Query()
 	if idx := q.Get("index"); idx != "" {
 		i, err := strconv.Atoi(idx)
 		if err != nil {
 			return chain.Batch{}, fmt.Errorf("bad index %q", idx)
 		}
-		return s.batches.Batch(i)
+		return sn.batches.Batch(i)
 	}
 	if tok := q.Get("token"); tok != "" {
 		t, err := strconv.Atoi(tok)
 		if err != nil {
 			return chain.Batch{}, fmt.Errorf("bad token %q", tok)
 		}
-		return s.batches.BatchOf(chain.TokenID(t))
+		return sn.batches.BatchOf(chain.TokenID(t))
 	}
 	return chain.Batch{}, errors.New("need ?index= or ?token=")
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	b, err := s.batchFromQuery(r)
+	sn := s.snap.Load()
+	b, err := sn.batchFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	origins := make([]chain.TxID, len(b.Tokens))
-	originOf := s.ledger.OriginFunc()
+	originOf := sn.view.OriginFunc()
 	for i, t := range b.Tokens {
 		origins[i] = originOf(t)
 	}
@@ -183,15 +196,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRings(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	b, err := s.batchFromQuery(r)
+	sn := s.snap.Load()
+	b, err := sn.batchFromQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	var out []RingInfo
-	for _, rec := range s.ledger.RingsOver(b.Tokens) {
+	for _, rec := range sn.view.RingsOver(b.Tokens) {
 		out = append(out, RingInfo{ID: rec.ID, Tokens: rec.Tokens, C: rec.C, L: rec.L})
 	}
 	if out == nil {

@@ -28,15 +28,21 @@ type BatchList struct {
 // ErrBadLambda is returned when the batch size parameter is not positive.
 var ErrBadLambda = errors.New("chain: batch parameter λ must be positive")
 
-// BuildBatches scans blocks in ascending order and closes a batch as soon as
-// it holds at least λ tokens, exactly as Section 4 describes. The final batch
-// may hold fewer than λ tokens; Liveness accounting treats its |T| as
-// λ+λ'−1 (see tokenmagic.Liveness).
+// BuildBatches partitions the ledger's current state; it pins one view so
+// the partition is internally consistent under concurrent mutation.
 func BuildBatches(l *Ledger, lambda int) (*BatchList, error) {
+	return BuildBatchesView(l.View(), lambda)
+}
+
+// BuildBatchesView scans blocks in ascending order and closes a batch as soon
+// as it holds at least λ tokens, exactly as Section 4 describes. The final
+// batch may hold fewer than λ tokens; Liveness accounting treats its |T| as
+// λ+λ'−1 (see tokenmagic.Liveness).
+func BuildBatchesView(v *View, lambda int) (*BatchList, error) {
 	if lambda <= 0 {
 		return nil, ErrBadLambda
 	}
-	bl := &BatchList{Lambda: lambda, byToken: make([]int, l.NumTokens())}
+	bl := &BatchList{Lambda: lambda, byToken: make([]int, v.NumTokens())}
 	cur := Batch{Index: 0, FirstBlock: 0}
 	count := 0
 	flush := func(last BlockID) {
@@ -45,8 +51,8 @@ func BuildBatches(l *Ledger, lambda int) (*BatchList, error) {
 		cur = Batch{Index: len(bl.batches), FirstBlock: last + 1}
 		count = 0
 	}
-	for b := 0; b < l.NumBlocks(); b++ {
-		blockTokens := l.TokensInBlocks(BlockID(b), BlockID(b))
+	for b := 0; b < v.NumBlocks(); b++ {
+		blockTokens := v.TokensInBlocks(BlockID(b), BlockID(b))
 		for _, t := range blockTokens {
 			bl.byToken[t] = cur.Index
 		}
@@ -57,7 +63,7 @@ func BuildBatches(l *Ledger, lambda int) (*BatchList, error) {
 		}
 	}
 	if count > 0 || len(bl.batches) == 0 {
-		cur.LastBlock = BlockID(l.NumBlocks() - 1)
+		cur.LastBlock = BlockID(v.NumBlocks() - 1)
 		bl.batches = append(bl.batches, cur)
 	}
 	return bl, nil

@@ -41,30 +41,35 @@ var (
 	ErrSnapshotVersion = errors.New("chain: unsupported snapshot version")
 )
 
-// WriteTo serialises the ledger. It implements io.WriterTo.
-func (l *Ledger) WriteTo(w io.Writer) (int64, error) {
+// WriteTo serialises the current ledger state. It implements io.WriterTo.
+// The snapshot is taken from one pinned view, so it is internally consistent
+// even if the ledger is being mutated concurrently.
+func (l *Ledger) WriteTo(w io.Writer) (int64, error) { return l.View().WriteTo(w) }
+
+// WriteTo serialises the view. It implements io.WriterTo.
+func (v *View) WriteTo(w io.Writer) (int64, error) {
 	bw := &countingWriter{w: w}
 	enc := json.NewEncoder(bw)
 	head := Snapshot{
 		Version: snapshotVersion,
-		Blocks:  l.NumBlocks(),
-		Txs:     l.NumTxs(),
-		Tokens:  l.NumTokens(),
-		Rings:   l.NumRS(),
+		Blocks:  v.NumBlocks(),
+		Txs:     v.NumTxs(),
+		Tokens:  v.NumTokens(),
+		Rings:   v.NumRS(),
 	}
 	if err := enc.Encode(head); err != nil {
 		return bw.n, err
 	}
-	for _, tx := range l.txs {
+	for _, tx := range v.txs {
 		amounts := make([]uint64, len(tx.Outputs))
 		for i, tok := range tx.Outputs {
-			amounts[i] = l.tokens[tok].Amount
+			amounts[i] = v.tokens[tok].Amount
 		}
 		if err := enc.Encode(txLine{Block: tx.Block, Amounts: amounts}); err != nil {
 			return bw.n, err
 		}
 	}
-	for _, r := range l.rings {
+	for _, r := range v.rings {
 		if err := enc.Encode(ringLine{Tokens: r.Tokens, C: r.C, L: r.L}); err != nil {
 			return bw.n, err
 		}

@@ -1,0 +1,258 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// collectJournal records every op and committed view it sees.
+type collectJournal struct {
+	ops    []Op
+	epochs []uint64
+	fail   error // when set, Append fails and the mutation must abort
+}
+
+func (j *collectJournal) Append(op Op) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.ops = append(j.ops, op)
+	return nil
+}
+
+func (j *collectJournal) Committed(v *View) { j.epochs = append(j.epochs, v.Epoch()) }
+
+func TestViewImmutableUnderMutation(t *testing.T) {
+	l := buildSmallLedger(t) // shared helper in ledger_test.go
+	if _, err := l.AppendRS(NewTokenSet(0, 2), 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	v := l.View()
+	wantTokens, wantRings, wantEpoch := v.NumTokens(), v.NumRS(), v.Epoch()
+	var before bytes.Buffer
+	if _, err := v.WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the ledger heavily after pinning.
+	for i := 0; i < 5; i++ {
+		b := l.BeginBlock()
+		if _, err := l.AddTx(b, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.AppendRS(NewTokenSet(TokenID(i)), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if v.NumTokens() != wantTokens || v.NumRS() != wantRings || v.Epoch() != wantEpoch {
+		t.Fatalf("pinned view changed: tokens %d→%d rings %d→%d epoch %d→%d",
+			wantTokens, v.NumTokens(), wantRings, v.NumRS(), wantEpoch, v.Epoch())
+	}
+	var after bytes.Buffer
+	if _, err := v.WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("pinned view serialisation changed after ledger mutation")
+	}
+	if l.View().Epoch() != wantEpoch+15 {
+		t.Fatalf("epoch should advance once per op: got %d, want %d", l.View().Epoch(), wantEpoch+15)
+	}
+}
+
+func TestEpochCountsOps(t *testing.T) {
+	l := NewLedger()
+	if l.Epoch() != 0 {
+		t.Fatalf("fresh ledger epoch = %d", l.Epoch())
+	}
+	b := l.BeginBlock()
+	if l.Epoch() != 1 {
+		t.Fatalf("after BeginBlock epoch = %d", l.Epoch())
+	}
+	if _, err := l.AddTxAmounts(b, []uint64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 2 {
+		t.Fatalf("after AddTxAmounts epoch = %d (one op regardless of outputs)", l.Epoch())
+	}
+	if _, err := l.AppendRS(NewTokenSet(0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 3 {
+		t.Fatalf("after AppendRS epoch = %d", l.Epoch())
+	}
+	// Failed mutations must not advance the epoch.
+	if _, err := l.AppendRS(NewTokenSet(99), 1, 1); err == nil {
+		t.Fatal("expected unknown-token error")
+	}
+	if _, err := l.AddTxAmounts(BlockID(9), []uint64{1}); err == nil {
+		t.Fatal("expected unknown-block error")
+	}
+	if l.Epoch() != 3 {
+		t.Fatalf("failed ops advanced the epoch to %d", l.Epoch())
+	}
+}
+
+func TestJournalWriteAheadAndReplay(t *testing.T) {
+	j := &collectJournal{}
+	l := NewLedger()
+	l.SetJournal(j)
+	b := l.BeginBlock()
+	if _, err := l.AddTxAmounts(b, []uint64{0, 5}); err != nil { // 0 normalises to 1
+		t.Fatal(err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(0, 1), 0.7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.ops) != 3 {
+		t.Fatalf("journal saw %d ops, want 3", len(j.ops))
+	}
+	for i, op := range j.ops {
+		if op.Seq != uint64(i) {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+	}
+	if j.ops[1].Amounts[0] != 1 {
+		t.Fatalf("journaled amounts not normalised: %v", j.ops[1].Amounts)
+	}
+	if len(j.epochs) != 3 || j.epochs[2] != 3 {
+		t.Fatalf("Committed epochs = %v", j.epochs)
+	}
+
+	// Replaying the journaled ops rebuilds byte-identical state.
+	replayed := NewLedger()
+	for _, op := range j.ops {
+		if err := replayed.Apply(op); err != nil {
+			t.Fatalf("Apply(%+v): %v", op, err)
+		}
+	}
+	var a, bbuf bytes.Buffer
+	if _, err := l.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayed.WriteTo(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), bbuf.Bytes()) {
+		t.Fatal("replayed ledger differs from original")
+	}
+
+	// Out-of-sequence replay is rejected.
+	if err := replayed.Apply(Op{Seq: 99, Kind: OpBlock}); !errors.Is(err, ErrOpSeq) {
+		t.Fatalf("expected ErrOpSeq, got %v", err)
+	}
+}
+
+func TestJournalAppendFailureAbortsMutation(t *testing.T) {
+	j := &collectJournal{}
+	l := NewLedger()
+	b := l.BeginBlock()
+	if _, err := l.AddTx(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	l.SetJournal(j)
+	j.fail = errors.New("disk full")
+	if _, err := l.AppendRS(NewTokenSet(0), 1, 1); err == nil {
+		t.Fatal("expected journal failure to surface")
+	}
+	if _, err := l.AddTxAmounts(b, []uint64{1}); err == nil {
+		t.Fatal("expected journal failure to surface")
+	}
+	if _, err := l.BeginBlockErr(); err == nil {
+		t.Fatal("expected journal failure to surface")
+	}
+	if l.NumRS() != 0 || l.NumTxs() != 1 || l.NumBlocks() != 1 || l.Epoch() != 2 {
+		t.Fatalf("mutation applied despite journal failure: rs=%d txs=%d blocks=%d epoch=%d",
+			l.NumRS(), l.NumTxs(), l.NumBlocks(), l.Epoch())
+	}
+}
+
+func TestOpsRebuildsState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		l := randomLedger(rng)
+		v := l.View()
+		ops := v.Ops()
+		if uint64(len(ops)) != v.Epoch() {
+			t.Fatalf("Ops len %d != epoch %d", len(ops), v.Epoch())
+		}
+		rebuilt := NewLedger()
+		for _, op := range ops {
+			if err := rebuilt.Apply(op); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+		}
+		var a, b bytes.Buffer
+		if _, err := v.WriteTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rebuilt.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("trial %d: Ops() rebuild differs", trial)
+		}
+	}
+}
+
+// TestConcurrentReadersUnderMutation is the memory-safety half of the epoch
+// contract: run it under -race (internal/chain is on the CI race list).
+// Readers pin views and iterate them while a writer appends blocks, txs and
+// rings; every pinned view must stay self-consistent.
+func TestConcurrentReadersUnderMutation(t *testing.T) {
+	l := buildSmallLedger(t)
+	const readers = 4
+	const writerOps = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := l.View()
+				nt, nr := v.NumTokens(), v.NumRS()
+				sum := 0
+				for i := 0; i < nt; i++ {
+					tok, err := v.Token(TokenID(i))
+					if err != nil {
+						t.Errorf("view token %d: %v", i, err)
+						return
+					}
+					sum += int(tok.Origin)
+				}
+				for _, rec := range v.Rings() {
+					if len(rec.Tokens) == 0 {
+						t.Error("empty ring in pinned view")
+						return
+					}
+				}
+				if v.NumRS() != nr || v.NumTokens() != nt {
+					t.Error("pinned view mutated underneath reader")
+					return
+				}
+				_ = sum
+			}
+		}()
+	}
+	for i := 0; i < writerOps; i++ {
+		b := l.BeginBlock()
+		if _, err := l.AddTx(b, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.AppendRS(NewTokenSet(TokenID(i%l.NumTokens())), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -72,6 +72,10 @@ type Node struct {
 	// check already walked.
 	engine  *ringsig.Engine
 	metrics *obs.Registry
+	// testHookAfterSelect, when non-nil, runs between ring selection and
+	// commit in spendOnce — a test seam for deterministically interleaving a
+	// sibling commit into the selection/commit window.
+	testHookAfterSelect func()
 }
 
 type pendingEntry struct {

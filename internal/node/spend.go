@@ -63,10 +63,45 @@ func (n *Node) Spend(ctx context.Context, target chain.TokenID, req diversity.Re
 	return res, err
 }
 
+// maxStaleRetries bounds the regenerate-and-retry loop below. Each retry
+// re-selects against the then-current epoch, so one pass per concurrently
+// landed commit suffices; eight absorbs heavy contention while keeping a
+// genuinely unspendable token's failure latency bounded.
+const maxStaleRetries = 8
+
+// staleRetryable reports whether a commit failure may be an artefact of the
+// chain moving between ring selection and commit — the Step-3 classes that
+// depend on the ring population — rather than a verdict about the token
+// itself. Double spends and signature failures are terminal.
+func staleRetryable(err error) bool {
+	return errors.Is(err, itm.ErrConfig) ||
+		errors.Is(err, itm.ErrDiversity) ||
+		errors.Is(err, itm.ErrLiveness)
+}
+
+// spend runs spendOnce and, when the commit lost a race — the framework
+// epoch advanced past the one the ring was selected against and the failure
+// is selection-dependent — re-selects against the new epoch and retries.
+// Without this, concurrent spends of distinct tokens could surface spurious
+// rejections (HTTP 422 through nodesvc) purely from commit ordering.
 func (n *Node) spend(ctx context.Context, target chain.TokenID, req diversity.Requirement) (SpendResult, error) {
 	if n.verifySigs && n.keys == nil {
 		return SpendResult{}, ErrNoSpendKeys
 	}
+	for attempt := 0; ; attempt++ {
+		epoch := n.fw.Epoch()
+		res, err := n.spendOnce(ctx, target, req)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= maxStaleRetries || !staleRetryable(err) || n.fw.Epoch() == epoch {
+			return SpendResult{}, err
+		}
+		n.metrics.Counter("node.spend.retry.stale_epoch").Inc()
+	}
+}
+
+func (n *Node) spendOnce(ctx context.Context, target chain.TokenID, req diversity.Requirement) (SpendResult, error) {
 	sel, err := n.fw.GenerateRSContext(ctx, target, req)
 	if err != nil {
 		return SpendResult{}, err
@@ -98,6 +133,10 @@ func (n *Node) spend(ctx context.Context, target chain.TokenID, req diversity.Re
 		if err := n.engine.VerifyCtx(ctx, sig, ring, msg); err != nil {
 			return SpendResult{}, fmt.Errorf("%w: %v", ErrBadSignature, err)
 		}
+	}
+
+	if n.testHookAfterSelect != nil {
+		n.testHookAfterSelect()
 	}
 
 	n.mu.Lock()

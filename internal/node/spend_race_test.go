@@ -1,0 +1,151 @@
+package node
+
+// Regression for the concurrent-spend commit race: ring selection runs
+// outside the node mutex, so a spend can select against epoch E while a
+// sibling's commit publishes E+1; the first commit then sees rings it never
+// selected around and fails the practical-configuration check. Before the
+// stale-epoch retry in spend(), this surfaced as spurious rejections (HTTP
+// 422 through nodesvc) for perfectly spendable tokens. The retry re-selects
+// against the advanced epoch, so concurrent spends of distinct tokens must
+// all land.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/obs"
+	itm "tokenmagic/internal/tokenmagic"
+)
+
+// TestSpendRetriesAfterSiblingCommit reproduces the race deterministically:
+// the test hook lands a conflicting ring in the window between this spend's
+// ring selection and its commit. The first commit attempt must fail (its
+// ring partially overlaps the sibling's), and the retry — re-selecting
+// against the advanced epoch — must land. Without the retry this spend
+// surfaced the sibling's commit as a spurious rejection.
+func TestSpendRetriesAfterSiblingCommit(t *testing.T) {
+	l := chain.NewLedger()
+	b := l.BeginBlock()
+	for i := 0; i < 16; i++ {
+		if _, err := l.AddTx(b, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	n, err := New(l, Config{
+		Framework: itm.Config{
+			Lambda: 32, Eta: 0, Headroom: true,
+			Algorithm: itm.Progressive, Metrics: reg,
+		},
+		AllowUnsigned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := diversity.Requirement{C: 1, L: 2}
+	const target = chain.TokenID(5)
+
+	// The sibling's ring is every batch token except the target: it cannot
+	// contain any ring that includes the target, and any ring with the
+	// target plus ≥1 mixin overlaps it — so whatever ring this spend
+	// selected against the pre-sibling epoch is guaranteed to conflict.
+	var sibling []chain.TokenID
+	for i := 0; i < l.NumTokens(); i++ {
+		if chain.TokenID(i) != target {
+			sibling = append(sibling, chain.TokenID(i))
+		}
+	}
+	fired := false
+	n.testHookAfterSelect = func() {
+		if fired {
+			return
+		}
+		fired = true
+		if _, cerr := n.fw.Commit(chain.NewTokenSet(sibling...), req); cerr != nil {
+			t.Errorf("sibling commit: %v", cerr)
+		}
+	}
+
+	res, err := n.Spend(context.Background(), target, req)
+	if err != nil {
+		t.Fatalf("spend spuriously rejected after sibling commit: %v", err)
+	}
+	if !res.Ring.Contains(target) {
+		t.Fatalf("ring %v misses target", res.Ring)
+	}
+	if got := reg.Counter("node.spend.retry.stale_epoch").Value(); got == 0 {
+		t.Fatal("retry counter did not fire: the race was not exercised")
+	}
+	if got := reg.Counter("node.spend.reject.config").Value(); got != 0 {
+		t.Fatalf("spurious config rejections: %d", got)
+	}
+}
+
+func TestConcurrentSpendsOfDistinctTokensNeverSpuriouslyReject(t *testing.T) {
+	const (
+		nTx      = 16 // ×2 outputs = 32 tokens
+		spenders = 8
+	)
+	l := chain.NewLedger()
+	b := l.BeginBlock()
+	for i := 0; i < nTx; i++ {
+		if _, err := l.AddTx(b, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	n, err := New(l, Config{
+		Framework: itm.Config{
+			// η off: this test isolates the epoch race; the liveness guard
+			// legitimately rejects late spends in a drained batch.
+			Lambda: 16, Eta: 0, Headroom: true,
+			Algorithm: itm.Progressive, Randomize: true,
+			Metrics: reg,
+		},
+		AllowUnsigned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := diversity.Requirement{C: 1, L: 2}
+
+	// All spenders target distinct tokens spread across both batches and
+	// fire together, maximising generate/commit interleavings.
+	var wg sync.WaitGroup
+	errs := make([]error, spenders)
+	start := make(chan struct{})
+	for i := 0; i < spenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			target := chain.TokenID(i * 4)
+			_, errs[i] = n.Spend(context.Background(), target, req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("spend of token %d spuriously rejected: %v", i*4, err)
+		}
+	}
+	if n.ChainRings() != spenders {
+		t.Fatalf("%d rings on chain, want %d", n.ChainRings(), spenders)
+	}
+	// The retry path is exercised opportunistically (the race may not fire
+	// on a given run); what must hold is that retries never exceed the
+	// bound and rejects stayed at zero.
+	if v := reg.Counter("node.spend.retry.stale_epoch").Value(); v > spenders*maxStaleRetries {
+		t.Fatalf("retry counter implausible: %d", v)
+	}
+	for _, reason := range []string{"config", "diversity", "liveness"} {
+		if v := reg.Counter("node.spend.reject." + reason).Value(); v != 0 {
+			t.Fatalf("spurious %s rejections: %d", reason, v)
+		}
+	}
+}

@@ -57,6 +57,14 @@ type Config struct {
 	Parallelism int
 	// Seed fixes all randomness.
 	Seed int64
+	// Persist, when non-nil, is handed the freshly generated dataset ledger
+	// before any spend lands and returns the ledger the run should actually
+	// use — the wiring point for durable storage (cmd/tokenmagic seeds an
+	// empty store from the generated history, or resumes from a recovered
+	// ledger mid-state after a crash). The returned ledger must hold the
+	// same token population as the generated one (same Tokens and Seed);
+	// rings already on it are simply part of the chain the run extends.
+	Persist func(*chain.Ledger) (*chain.Ledger, error)
 }
 
 // Snapshot is the adversary's view at one point of simulated time.
@@ -130,8 +138,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	led := d.Ledger
+	if cfg.Persist != nil {
+		if led, err = cfg.Persist(d.Ledger); err != nil {
+			return nil, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	origin := d.Origin()
+	origin := led.OriginFunc()
 
 	// One shared framework per algorithm keeps the η bookkeeping common. All
 	// frameworks report into one run-private registry so the latency
@@ -142,8 +156,8 @@ func Run(cfg Config) (*Result, error) {
 		if f, ok := frameworks[a]; ok {
 			return f, nil
 		}
-		f, err := itm.New(d.Ledger, itm.Config{
-			Lambda:      d.Ledger.NumTokens(),
+		f, err := itm.New(led, itm.Config{
+			Lambda:      led.NumTokens(),
 			Eta:         cfg.Eta,
 			Headroom:    true,
 			Algorithm:   a,
@@ -201,7 +215,7 @@ func Run(cfg Config) (*Result, error) {
 		if strat.ZeroMixin {
 			// Bare singleton straight onto the ledger (no verification —
 			// modelling a permissive chain or a pre-upgrade era).
-			if _, err := d.Ledger.AppendRS(chain.NewTokenSet(target), strat.Req.C, strat.Req.L); err != nil {
+			if _, err := led.AppendRS(chain.NewTokenSet(target), strat.Req.C, strat.Req.L); err != nil {
 				return nil, err
 			}
 			spent[target] = true
@@ -223,7 +237,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		if attempt%cfg.SnapshotEvery == 0 || attempt == cfg.Spends {
-			a := adversary.ChainReaction(d.Ledger.Rings(), nil, origin)
+			a := adversary.ChainReaction(led.Rings(), nil, origin)
 			m := adversary.Summarise(a)
 			res.Snapshots = append(res.Snapshots, Snapshot{
 				Attempt:          attempt,

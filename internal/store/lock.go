@@ -1,0 +1,31 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrLocked reports a data directory already held open by another process.
+var ErrLocked = errors.New("store: data dir locked by another process")
+
+// acquireLock takes an exclusive advisory lock on dir/LOCK. Two live
+// processes over one data dir is the one corruption mode recovery cannot
+// repair — open-time repair truncates segments the other process is still
+// appending to — so Open refuses it outright. The lock is tied to the file
+// descriptor: the kernel releases it when the process exits, however it
+// exits, so a kill -9 never leaves a stale lock behind.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	if err := flockExcl(f.Fd()); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("%w: %s (and close failed: %v)", ErrLocked, dir, cerr)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return f, nil
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package store
+
+// flockExcl is a no-op where flock is unavailable: single-process discipline
+// is then the operator's responsibility, as it was before locking existed.
+func flockExcl(uintptr) error { return nil }

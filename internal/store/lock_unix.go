@@ -1,0 +1,12 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// flockExcl takes a non-blocking exclusive flock. Per-open-file-description
+// semantics mean a second Open in the same process conflicts too, which is
+// exactly what the tests exercise.
+func flockExcl(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}

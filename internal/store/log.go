@@ -1,0 +1,302 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tokenmagic/internal/chain"
+	"tokenmagic/internal/obs"
+)
+
+// Options configure a persistent log.
+type Options struct {
+	// Shards is the number of shard directories ops are spread across.
+	// Default 1.
+	Shards int
+	// Lambda is the batch-size parameter λ. Ring ops are routed to shard
+	// (firstToken/λ) mod Shards — tokens of the same batch land in the same
+	// shard, since batches are ≈λ-token contiguous runs. Zero routes ring
+	// ops by sequence number like everything else.
+	Lambda int
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// SnapshotEvery takes a snapshot each time the epoch reaches a multiple
+	// of this value. Zero disables automatic snapshots (Snapshot can still
+	// be called explicitly).
+	SnapshotEvery uint64
+	// NoCompact keeps segments that a snapshot already covers. Compaction is
+	// on by default; the fault-injection tests disable it to exercise full
+	// replay.
+	NoCompact bool
+	// Sync fsyncs after every append. Off by default: the tests exercise
+	// logical crash windows (torn/truncated files), and the sim tolerates
+	// losing the OS write-back tail.
+	Sync bool
+	// Metrics receives store telemetry; nil uses obs.Default().
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
+	return o
+}
+
+// Log is the persistent journal: it implements chain.Journal, appending each
+// op to its shard's active segment before the ledger applies it, and writes
+// periodic snapshots keyed by epoch. One Log owns one data directory.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex // guards shards, nextSeq, closed
+	shards  []*shardLog
+	nextSeq uint64
+	closed  bool
+	lock    *os.File // dir/LOCK flock; released on Close (or process exit)
+
+	snapMu  sync.Mutex    // serialises snapshot writes (committer vs snapshotter)
+	snapSeq atomic.Uint64 // epoch of the newest durable snapshot
+
+	mAppends   *obs.Counter
+	mBytes     *obs.Counter
+	mSegments  *obs.Gauge
+	mEpoch     *obs.Gauge
+	mSnaps     *obs.Counter
+	mSnapErrs  *obs.Counter
+	mSnapLat   *obs.Histogram
+	mSnapBytes *obs.Counter
+}
+
+func (s *Log) initMetrics() {
+	r := s.opts.Metrics
+	s.mAppends = r.Counter("store.appends")
+	s.mBytes = r.Counter("store.append_bytes")
+	s.mSegments = r.Gauge("store.segments")
+	s.mEpoch = r.Gauge("store.epoch")
+	s.mSnaps = r.Counter("store.snapshots")
+	s.mSnapErrs = r.Counter("store.snapshot.errors")
+	s.mSnapLat = r.Histogram("store.snapshot.latency_us", obs.LatencyBucketsUS)
+	s.mSnapBytes = r.Counter("store.snapshot.bytes")
+}
+
+// shardFor routes an op to a shard. Ring ops go by batch id (first token
+// over λ) so one batch's mixin history stays together; block and tx ops
+// round-robin by sequence.
+func (s *Log) shardFor(op chain.Op) int {
+	n := len(s.shards)
+	if op.Kind == chain.OpRS && s.opts.Lambda > 0 && len(op.Tokens) > 0 {
+		return (int(op.Tokens[0]) / s.opts.Lambda) % n
+	}
+	return int(op.Seq % uint64(n))
+}
+
+// Append implements chain.Journal: it makes the op durable before the ledger
+// applies it. The ledger calls this under its mutation lock, write-ahead.
+func (s *Log) Append(op chain.Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if op.Seq != s.nextSeq {
+		return fmt.Errorf("store: append seq %d, log expects %d", op.Seq, s.nextSeq)
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encode op: %w", err)
+	}
+	n, err := s.shards[s.shardFor(op)].append(payload, op.Seq, s.opts.SegmentBytes, s.opts.Sync)
+	if err != nil {
+		return err
+	}
+	s.nextSeq++
+	s.mAppends.Inc()
+	s.mBytes.Add(int64(n))
+	s.mSegments.Set(s.segmentCountLocked())
+	return nil
+}
+
+// Committed implements chain.Journal: epoch telemetry plus automatic
+// snapshots on the configured cadence. It runs under the ledger's mutation
+// lock, so an automatic snapshot briefly blocks writers (readers keep their
+// pinned views); deployments that care run a snapshotter goroutine calling
+// Snapshot instead.
+func (s *Log) Committed(v *chain.View) {
+	s.mEpoch.Set(int64(v.Epoch()))
+	if s.opts.SnapshotEvery > 0 && v.Epoch()%s.opts.SnapshotEvery == 0 {
+		if err := s.Snapshot(v); err != nil {
+			s.mSnapErrs.Inc()
+		}
+	}
+}
+
+// Epoch of the newest durable snapshot (0 when none has been taken).
+func (s *Log) SnapshotSeq() uint64 { return s.snapSeq.Load() }
+
+// snapMeta is the first record of a snapshot file.
+type snapMeta struct {
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	Digest  string `json:"digest"` // sha256 of the state record's payload
+}
+
+const (
+	snapMagic   = "TMSNAP\x01\x00"
+	snapVersion = 1
+	snapSuffix  = ".snap"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d%s", seq, snapSuffix) }
+
+// Snapshot persists the view's full state as snap-<epoch>, fsyncs it and
+// renames it into place, then compacts segments the snapshot covers. It is
+// safe to call from a goroutine concurrent with appends: the view is
+// immutable, and snapshot writes serialise among themselves. Snapshots at or
+// behind the newest durable one are skipped.
+func (s *Log) Snapshot(v *chain.View) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if v.Epoch() <= s.snapSeq.Load() && v.Epoch() != 0 {
+		return nil
+	}
+	start := time.Now()
+	var state bytes.Buffer
+	if _, err := v.WriteTo(&state); err != nil {
+		return fmt.Errorf("store: serialise snapshot: %w", err)
+	}
+	sum := sha256.Sum256(state.Bytes())
+	meta, err := json.Marshal(snapMeta{Version: snapVersion, Seq: v.Epoch(), Digest: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot meta: %w", err)
+	}
+	buf := append([]byte(snapMagic), appendRecord(nil, meta)...)
+	buf = appendRecord(buf, state.Bytes())
+
+	final := filepath.Join(s.dir, snapName(v.Epoch()))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	s.snapSeq.Store(v.Epoch())
+	s.mSnaps.Inc()
+	s.mSnapBytes.Add(int64(len(buf)))
+	s.mSnapLat.ObserveSince(start)
+	if !s.opts.NoCompact {
+		return s.Compact(v.Epoch())
+	}
+	return nil
+}
+
+// Compact deletes sealed segments whose every record is covered by a durable
+// snapshot at snapSeq, plus snapshot files older than it.
+func (s *Log) Compact(snapSeq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		if err := sh.compact(snapSeq); err != nil {
+			return err
+		}
+	}
+	s.mSegments.Set(s.segmentCountLocked())
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: compact snapshots: %w", err)
+	}
+	for _, e := range entries {
+		var seq uint64
+		if _, serr := fmt.Sscanf(e.Name(), "snap-%016d.snap", &seq); serr != nil {
+			continue
+		}
+		if seq < snapSeq {
+			if rerr := os.Remove(filepath.Join(s.dir, e.Name())); rerr != nil {
+				return fmt.Errorf("store: compact snapshots: %w", rerr)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Log) segmentCountLocked() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += int64(sh.segments())
+	}
+	return n
+}
+
+// Close flushes and closes all active segments. The Log must not be used as
+// a journal afterwards.
+func (s *Log) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.lock != nil {
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		cerr := f.Close()
+		_ = cerr
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		cerr := f.Close()
+		_ = cerr
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// Digest returns the hex sha256 of the view's canonical serialisation — the
+// equality check the recovery tests and the restart smoke use.
+func Digest(v *chain.View) (string, error) {
+	h := sha256.New()
+	if _, err := v.WriteTo(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tokenmagic/internal/chain"
+)
+
+// RecoveryInfo reports what Open found and did. The fault-injection tests
+// assert on these counters; the recover subcommand prints them.
+type RecoveryInfo struct {
+	// Epoch the ledger recovered to: the longest contiguous committed
+	// prefix of ops.
+	Epoch uint64 `json:"epoch"`
+	// SnapshotSeq is the epoch of the snapshot recovery started from
+	// (0 = replayed from genesis).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Replayed ops applied from segment logs on top of the snapshot.
+	Replayed int `json:"replayed"`
+	// Duplicates skipped: records whose seq the snapshot (or an earlier
+	// record) already covered.
+	Duplicates int `json:"duplicates"`
+	// DroppedTail records discarded past a sequence gap — ops whose
+	// predecessors were lost in the crash, physically truncated away.
+	DroppedTail int `json:"dropped_tail"`
+	// TornBytes truncated from segment tails that did not decode.
+	TornBytes int64 `json:"torn_bytes"`
+	// SnapshotsSkipped counts corrupt or unreadable snapshot files that
+	// recovery passed over for an older one.
+	SnapshotsSkipped int `json:"snapshots_skipped"`
+}
+
+// Store couples a recovered ledger with the journal that keeps it durable.
+type Store struct {
+	Ledger *chain.Ledger
+	Log    *Log
+	Info   RecoveryInfo
+}
+
+// Close closes the underlying log.
+func (s *Store) Close() error { return s.Log.Close() }
+
+// Open recovers the persistent ledger under dir (creating it when absent)
+// and wires the returned ledger to keep journaling there. Recovery loads the
+// newest intact snapshot, replays the sharded segment logs in global
+// sequence order on top of it, tolerates torn tails and duplicate records,
+// repairs the files to the recovered state, and fails loudly (ErrCorrupt) on
+// any damage that is not a trailing crash artifact.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			// Every error path below must drop the lock; closing the fd
+			// releases the flock.
+			_ = lock.Close()
+		}
+	}()
+	// A shard dir beyond opts.Shards means the store was written with a
+	// larger shard count: scanning a subset would misread its records as a
+	// sequence gap and truncate them away. Refuse before touching anything.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		if _, serr := fmt.Sscanf(e.Name(), "shard-%02d", &idx); serr == nil && idx >= opts.Shards {
+			return nil, fmt.Errorf("store: %s exists but store opened with %d shards", e.Name(), opts.Shards)
+		}
+	}
+	shardDirs := make([]string, opts.Shards)
+	for i := range shardDirs {
+		shardDirs[i] = filepath.Join(dir, shardDirName(i))
+		if err := os.MkdirAll(shardDirs[i], 0o755); err != nil {
+			return nil, fmt.Errorf("store: create shard dir: %w", err)
+		}
+	}
+
+	var info RecoveryInfo
+	led, snapSeq, skipped, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	info.SnapshotSeq = snapSeq
+	info.SnapshotsSkipped = skipped
+
+	// Scan every shard, truncating torn tails as they are found.
+	type shardScan struct {
+		ids  []int
+		recs []segRecord
+	}
+	scans := make([]shardScan, opts.Shards)
+	var merged []segRecord
+	for i, sd := range shardDirs {
+		ids, lerr := listSegments(sd)
+		if lerr != nil {
+			return nil, lerr
+		}
+		var prevSeq uint64
+		havePrev := false
+		for k := 0; k < len(ids); k++ {
+			id := ids[k]
+			path := filepath.Join(sd, segName(id))
+			recs, tail, rerr := readSegment(path, id)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if tail > 0 {
+				if k != len(ids)-1 {
+					return nil, fmt.Errorf("%w: shard %d: segment %d truncated mid-log", ErrCorrupt, i, id)
+				}
+				info.TornBytes += tail
+				fi, serr := os.Stat(path)
+				if serr != nil {
+					return nil, fmt.Errorf("store: stat segment: %w", serr)
+				}
+				newSize := fi.Size() - tail
+				if newSize < int64(len(segMagic)) {
+					// The torn write was the segment's very first bytes;
+					// nothing in it survives.
+					if remErr := os.Remove(path); remErr != nil {
+						return nil, fmt.Errorf("store: drop torn segment: %w", remErr)
+					}
+					ids = ids[:k]
+					break
+				}
+				if tErr := os.Truncate(path, newSize); tErr != nil {
+					return nil, fmt.Errorf("store: truncate torn tail: %w", tErr)
+				}
+			}
+			for _, r := range recs {
+				if havePrev && r.op.Seq <= prevSeq {
+					return nil, fmt.Errorf("%w: shard %d: seq %d not above %d", ErrCorrupt, i, r.op.Seq, prevSeq)
+				}
+				prevSeq, havePrev = r.op.Seq, true
+			}
+			scans[i].recs = append(scans[i].recs, recs...)
+			merged = append(merged, recs...)
+		}
+		scans[i].ids = ids
+	}
+
+	// Replay in global sequence order. Sequences the snapshot already covers
+	// are duplicates; the first gap ends the recoverable prefix — everything
+	// past it lost a predecessor in the crash and is dropped.
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].op.Seq < merged[b].op.Seq })
+	for _, m := range merged {
+		switch {
+		case m.op.Seq < led.Epoch():
+			info.Duplicates++
+		case m.op.Seq == led.Epoch():
+			if aerr := led.Apply(m.op); aerr != nil {
+				return nil, fmt.Errorf("%w: replay seq %d: %v", ErrCorrupt, m.op.Seq, aerr)
+			}
+			info.Replayed++
+		default:
+			info.DroppedTail++
+		}
+	}
+	info.Epoch = led.Epoch()
+
+	// Repair each shard to exactly the recovered prefix and derive the
+	// writer state for reopening.
+	log := &Log{dir: dir, opts: opts, nextSeq: led.Epoch()}
+	log.snapSeq.Store(snapSeq)
+	log.initMetrics()
+	for i := range scans {
+		st, ferr := finishShard(shardDirs[i], scans[i].ids, scans[i].recs, led.Epoch())
+		if ferr != nil {
+			return nil, ferr
+		}
+		sh, oerr := openShard(shardDirs[i], st.lastID, st.lastSize, st.lastMax, st.lastCount, st.closed)
+		if oerr != nil {
+			return nil, oerr
+		}
+		log.shards = append(log.shards, sh)
+	}
+	log.mSegments.Set(log.segmentCountLocked())
+	log.mEpoch.Set(int64(led.Epoch()))
+	r := opts.Metrics
+	r.Counter("store.recover.replayed").Add(int64(info.Replayed))
+	r.Counter("store.recover.duplicates").Add(int64(info.Duplicates))
+	r.Counter("store.recover.dropped_tail").Add(int64(info.DroppedTail))
+	r.Counter("store.recover.torn_bytes").Add(info.TornBytes)
+
+	led.SetJournal(log)
+	log.lock = lock
+	opened = true
+	return &Store{Ledger: led, Log: log, Info: info}, nil
+}
+
+// shardState is the writer-side inventory of a shard after repair.
+type shardState struct {
+	lastID    int
+	lastSize  int64
+	lastMax   uint64
+	lastCount int
+	closed    []closedSeg
+}
+
+// finishShard physically removes records past the recovered epoch (they form
+// a suffix of the shard, since sequences increase within it) and returns the
+// surviving segment inventory.
+func finishShard(dir string, ids []int, recs []segRecord, keep uint64) (shardState, error) {
+	var st shardState
+	firstDrop := len(recs)
+	for idx, r := range recs {
+		if r.op.Seq >= keep {
+			firstDrop = idx
+			break
+		}
+	}
+	kept := recs[:firstDrop]
+	if len(ids) == 0 {
+		return st, nil // openShard will create the first segment
+	}
+	if firstDrop < len(recs) {
+		cutID := ids[0]
+		cutOff := int64(len(segMagic))
+		if len(kept) > 0 {
+			cutID = kept[len(kept)-1].segID
+			cutOff = kept[len(kept)-1].end
+		}
+		trimmed := ids[:0]
+		for _, id := range ids {
+			if id > cutID {
+				if err := os.Remove(filepath.Join(dir, segName(id))); err != nil {
+					return st, fmt.Errorf("store: drop dead segment: %w", err)
+				}
+				continue
+			}
+			trimmed = append(trimmed, id)
+		}
+		ids = trimmed
+		if err := os.Truncate(filepath.Join(dir, segName(cutID)), cutOff); err != nil {
+			return st, fmt.Errorf("store: truncate dead records: %w", err)
+		}
+	}
+	perCount := make(map[int]int)
+	perMax := make(map[int]uint64)
+	perEnd := make(map[int]int64)
+	for _, r := range kept {
+		perCount[r.segID]++
+		perMax[r.segID] = r.op.Seq
+		perEnd[r.segID] = r.end
+	}
+	last := ids[len(ids)-1]
+	for _, id := range ids[:len(ids)-1] {
+		st.closed = append(st.closed, closedSeg{id: id, maxSeq: perMax[id]})
+	}
+	st.lastID = last
+	st.lastCount = perCount[last]
+	st.lastMax = perMax[last]
+	st.lastSize = int64(len(segMagic))
+	if e, ok := perEnd[last]; ok {
+		st.lastSize = e
+	}
+	return st, nil
+}
+
+// loadNewestSnapshot tries snapshots newest-first and returns the first one
+// that validates end to end, or a fresh ledger when none does.
+func loadNewestSnapshot(dir string) (*chain.Ledger, uint64, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("store: read data dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, serr := fmt.Sscanf(e.Name(), "snap-%016d.snap", &seq); serr == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] > seqs[b] })
+	skipped := 0
+	for _, seq := range seqs {
+		led, lerr := loadSnapshot(filepath.Join(dir, snapName(seq)), seq)
+		if lerr != nil {
+			skipped++
+			continue
+		}
+		return led, seq, skipped, nil
+	}
+	return chain.NewLedger(), 0, skipped, nil
+}
+
+// loadSnapshot validates one snapshot file completely: magic, record
+// framing, meta consistency, state digest, and that the rebuilt ledger lands
+// on the advertised epoch.
+func loadSnapshot(path string, wantSeq uint64) (*chain.Ledger, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorrupt, path)
+	}
+	off := len(snapMagic)
+	metaPayload, n, err := readRecord(buf[off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s: meta record: %v", ErrCorrupt, path, err)
+	}
+	var meta snapMeta
+	if err := json.Unmarshal(metaPayload, &meta); err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s: meta: %v", ErrCorrupt, path, err)
+	}
+	if meta.Version != snapVersion || meta.Seq != wantSeq {
+		return nil, fmt.Errorf("%w: snapshot %s: meta mismatch (version %d, seq %d)", ErrCorrupt, path, meta.Version, meta.Seq)
+	}
+	off += n
+	state, n2, err := readRecord(buf[off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s: state record: %v", ErrCorrupt, path, err)
+	}
+	if off+n2 != len(buf) {
+		return nil, fmt.Errorf("%w: snapshot %s: trailing garbage", ErrCorrupt, path)
+	}
+	sum := sha256.Sum256(state)
+	if hex.EncodeToString(sum[:]) != meta.Digest {
+		return nil, fmt.Errorf("%w: snapshot %s: state digest mismatch", ErrCorrupt, path)
+	}
+	led, err := chain.ReadLedger(bytes.NewReader(state))
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s: %v", ErrCorrupt, path, err)
+	}
+	if led.Epoch() != meta.Seq {
+		return nil, fmt.Errorf("%w: snapshot %s: rebuilt epoch %d, meta says %d", ErrCorrupt, path, led.Epoch(), meta.Seq)
+	}
+	return led, nil
+}
+
+// Seed replays another view's full history into an empty persistent ledger,
+// journaling every op — how the sim and tests move a pre-built in-memory
+// dataset into a store.
+func Seed(led *chain.Ledger, v *chain.View) error {
+	if led.Epoch() != 0 {
+		return fmt.Errorf("store: seed target not empty (epoch %d)", led.Epoch())
+	}
+	for _, op := range v.Ops() {
+		if err := led.Apply(op); err != nil {
+			return fmt.Errorf("store: seed: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyTree clones a data directory so each fault scenario mutates a private
+// copy of the same committed state.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, rdErr := os.ReadFile(path)
+		if rdErr != nil {
+			return rdErr
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// finalSegment returns the newest segment of a shard with its decoded
+// records.
+func finalSegment(t *testing.T, dir string, shard int) (path string, id int, recs []segRecord) {
+	t.Helper()
+	sd := filepath.Join(dir, shardDirName(shard))
+	ids, err := listSegments(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatalf("shard %d has no segments", shard)
+	}
+	id = ids[len(ids)-1]
+	path = filepath.Join(sd, segName(id))
+	recs, tail, err := readSegment(path, id)
+	if err != nil || tail != 0 {
+		t.Fatalf("read %s: err=%v tail=%d", path, err, tail)
+	}
+	return path, id, recs
+}
+
+// TestTornFinalRecord sweeps every possible crash point inside the final
+// record — each truncation length and a checksum-breaking bit flip — and
+// asserts recovery lands byte-identically on the previous committed epoch.
+func TestTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	ops := buildStore(t, dir, testOpts(Options{Shards: 1}), 30)
+	e := len(ops)
+	want := prefixDigest(t, ops, e-1)
+	path, _, recs := finalSegment(t, dir, 0)
+	last := recs[len(recs)-1]
+	start := int64(len(segMagic))
+	if len(recs) > 1 {
+		start = recs[len(recs)-2].end
+	}
+	rel, err := filepath.Rel(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(work string, wantTorn bool) {
+		t.Helper()
+		st := openT(t, work, testOpts(Options{Shards: 1}))
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+		}()
+		if st.Info.Epoch != uint64(e-1) {
+			t.Fatalf("recovered epoch %d, want %d (info %+v)", st.Info.Epoch, e-1, st.Info)
+		}
+		if wantTorn && st.Info.TornBytes == 0 {
+			t.Fatalf("expected torn bytes, info %+v", st.Info)
+		}
+		if got := digestLedger(t, st.Ledger); got != want {
+			t.Fatal("recovered state differs from pre-crash committed prefix")
+		}
+	}
+
+	for cut := start + 1; cut < last.end; cut++ {
+		work := copyTree(t, dir)
+		if err := os.Truncate(filepath.Join(work, rel), cut); err != nil {
+			t.Fatal(err)
+		}
+		check(work, true)
+	}
+	// A torn write that flushed the full extent but garbled the payload:
+	// checksum fails on the physically last record — still a crash artifact.
+	work := copyTree(t, dir)
+	wpath := filepath.Join(work, rel)
+	data, err := os.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[last.end-1] ^= 0xFF
+	if err := os.WriteFile(wpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check(work, true)
+	// Clean cut exactly at the previous record boundary: no torn bytes, the
+	// final op simply never hit the disk.
+	work = copyTree(t, dir)
+	if err := os.Truncate(filepath.Join(work, rel), start); err != nil {
+		t.Fatal(err)
+	}
+	check(work, false)
+}
+
+// TestTruncatedFinalSegment cuts the log mid-segment, losing several
+// records, and asserts recovery to the exact surviving prefix.
+func TestTruncatedFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	ops := buildStore(t, dir, testOpts(Options{Shards: 1}), 30)
+	path, _, recs := finalSegment(t, dir, 0)
+	rel, err := filepath.Rel(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 7, 15, 22} {
+		// Cut 3 bytes into the record after the k-th: k ops survive intact.
+		work := copyTree(t, dir)
+		if err := os.Truncate(filepath.Join(work, rel), recs[k-1].end+3); err != nil {
+			t.Fatal(err)
+		}
+		st := openT(t, work, testOpts(Options{Shards: 1}))
+		if st.Info.Epoch != uint64(k) || st.Info.TornBytes == 0 {
+			t.Fatalf("cut after %d ops: info %+v", k, st.Info)
+		}
+		if got := digestLedger(t, st.Ledger); got != prefixDigest(t, ops, k) {
+			t.Fatalf("cut after %d ops: recovered state diverges", k)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMidLogCorruptionFailsLoudly: damage that is not a trailing crash
+// artifact — a flipped byte or truncation in a non-final segment — must
+// refuse recovery with ErrCorrupt, never silently skip records.
+func TestMidLogCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir, testOpts(Options{Shards: 1, SegmentBytes: 512}), 60)
+	sd := filepath.Join(dir, shardDirName(0))
+	ids, err := listSegments(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(ids))
+	}
+	work := copyTree(t, dir)
+	wpath := filepath.Join(work, shardDirName(0), segName(ids[0]))
+	data, err := os.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+recordHeaderLen] ^= 0x01 // first payload byte of record 0
+	if err := os.WriteFile(wpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, oerr := Open(work, testOpts(Options{Shards: 1, SegmentBytes: 512})); !errors.Is(oerr, ErrCorrupt) {
+		t.Fatalf("flipped mid-log byte: got %v, want ErrCorrupt", oerr)
+	}
+
+	work = copyTree(t, dir)
+	wpath = filepath.Join(work, shardDirName(0), segName(ids[0]))
+	fi, err := os.Stat(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wpath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, oerr := Open(work, testOpts(Options{Shards: 1, SegmentBytes: 512})); !errors.Is(oerr, ErrCorrupt) {
+		t.Fatalf("truncated mid-log segment: got %v, want ErrCorrupt", oerr)
+	}
+}
+
+// TestMissingSnapshotFallsBackToFullReplay deletes every snapshot; with the
+// segments intact (compaction off) recovery must replay from genesis to the
+// same state.
+func TestMissingSnapshotFallsBackToFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 2, SnapshotEvery: 10, NoCompact: true}
+	ops := buildStore(t, dir, testOpts(opts), 50)
+	removeMatching(t, dir, snapSuffix)
+
+	st := openT(t, dir, testOpts(opts))
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if st.Info.SnapshotSeq != 0 || st.Info.Replayed != len(ops) {
+		t.Fatalf("expected full replay, info %+v", st.Info)
+	}
+	if got := digestLedger(t, st.Ledger); got != prefixDigest(t, ops, len(ops)) {
+		t.Fatal("full replay diverges from committed state")
+	}
+}
+
+// TestCorruptSnapshotFallsBackToOlder flips a byte in the newest snapshot;
+// recovery must detect the damage via the digest chain and recover from the
+// previous snapshot plus replay.
+func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 2, SnapshotEvery: 10, NoCompact: true}
+	ops := buildStore(t, dir, testOpts(opts), 50)
+
+	newest := ""
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), snapSuffix) && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatal("no snapshots on disk")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(dir, newest), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openT(t, dir, testOpts(opts))
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if st.Info.SnapshotsSkipped != 1 {
+		t.Fatalf("skipped %d snapshots, want 1 (info %+v)", st.Info.SnapshotsSkipped, st.Info)
+	}
+	if st.Info.SnapshotSeq == 0 || st.Info.SnapshotSeq >= 50 {
+		t.Fatalf("expected an older snapshot, info %+v", st.Info)
+	}
+	if got := digestLedger(t, st.Ledger); got != prefixDigest(t, ops, len(ops)) {
+		t.Fatal("fallback recovery diverges from committed state")
+	}
+}
+
+// TestDuplicateReplayIsIdempotent duplicates the entire op history into a
+// second shard (an operator restoring the same backup twice); every op must
+// apply exactly once.
+func TestDuplicateReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	ops := buildStore(t, dir, testOpts(Options{Shards: 1}), 40)
+	src := filepath.Join(dir, shardDirName(0))
+	dst := filepath.Join(dir, shardDirName(1))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := listSegments(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		data, rerr := os.ReadFile(filepath.Join(src, segName(id)))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if werr := os.WriteFile(filepath.Join(dst, segName(id)), data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+
+	st := openT(t, dir, testOpts(Options{Shards: 2}))
+	defer func() {
+		if cerr := st.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+	}()
+	if st.Info.Replayed != len(ops) || st.Info.Duplicates != len(ops) {
+		t.Fatalf("replayed=%d duplicates=%d, want %d each", st.Info.Replayed, st.Info.Duplicates, len(ops))
+	}
+	if got := digestLedger(t, st.Ledger); got != prefixDigest(t, ops, len(ops)) {
+		t.Fatal("duplicate replay corrupted state")
+	}
+}
+
+// TestCrossShardGapRepair is the nastiest crash window: one shard loses its
+// tail while another shard holds later ops. The later ops lost a predecessor
+// and must be dropped — and physically removed, so that new writes reusing
+// those sequence numbers can never collide with stale records.
+func TestCrossShardGapRepair(t *testing.T) {
+	dir := t.TempDir()
+	ops := buildStore(t, dir, testOpts(Options{Shards: 2}), 40)
+	e := len(ops)
+
+	// With seq-routed ops, shard 0 holds even seqs and shard 1 odd; the
+	// globally last op (seq e-1) lives in one shard — tear the OTHER shard's
+	// final record so a gap opens before the end of the log.
+	lastShard := (e - 1) % 2
+	victim := 1 - lastShard
+	path, _, recs := finalSegment(t, dir, victim)
+	last := recs[len(recs)-1]
+	s := int(last.op.Seq)
+	start := int64(len(segMagic))
+	if len(recs) > 1 {
+		start = recs[len(recs)-2].end
+	}
+	if err := os.Truncate(path, start); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openT(t, dir, testOpts(Options{Shards: 2}))
+	if st.Info.Epoch != uint64(s) || st.Info.DroppedTail != e-1-s {
+		t.Fatalf("gap at seq %d: info %+v", s, st.Info)
+	}
+	if got := digestLedger(t, st.Ledger); got != prefixDigest(t, ops, s) {
+		t.Fatal("recovered state diverges from pre-gap prefix")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second open: the repair must have removed the dead records, so
+	// recovery is now clean and idempotent.
+	st2 := openT(t, dir, testOpts(Options{Shards: 2}))
+	if st2.Info.Epoch != uint64(s) || st2.Info.DroppedTail != 0 || st2.Info.Duplicates != 0 {
+		t.Fatalf("second open not clean: info %+v", st2.Info)
+	}
+	// New writes reuse the dropped sequence numbers; a later recovery must
+	// see exactly one record per seq.
+	applyScript(t, st2.Ledger, 10, 99)
+	want := digestLedger(t, st2.Ledger)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openT(t, dir, testOpts(Options{Shards: 2}))
+	defer func() {
+		if err := st3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if st3.Info.Duplicates != 0 || st3.Info.DroppedTail != 0 {
+		t.Fatalf("stale records resurfaced: info %+v", st3.Info)
+	}
+	if got := digestLedger(t, st3.Ledger); got != want {
+		t.Fatal("post-repair writes did not survive reopen")
+	}
+}
+
+func removeMatching(t *testing.T, dir, suffix string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			if rerr := os.Remove(filepath.Join(dir, e.Name())); rerr != nil {
+				t.Fatal(rerr)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tokenmagic/internal/chain"
+)
+
+// Segment files live under <dir>/shard-NN/ and are named by a monotonically
+// increasing id: 00000001.seg, 00000002.seg, … Compaction deletes a prefix of
+// ids once a snapshot covers them, so the first surviving id is usually > 1.
+// Each file starts with an 8-byte magic and then holds framed records, each
+// one JSON-encoded chain.Op. Within a shard, op sequence numbers are strictly
+// increasing file-to-file and record-to-record.
+const segMagic = "TMSEG\x01\x00\x00"
+
+const segSuffix = ".seg"
+
+func segName(id int) string { return fmt.Sprintf("%08d%s", id, segSuffix) }
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// closedSeg is a sealed (no longer written) segment, remembered for
+// compaction: the segment is deletable once a snapshot covers maxSeq.
+type closedSeg struct {
+	id     int
+	maxSeq uint64
+}
+
+// shardLog is one shard's write state: the active segment plus the sealed
+// ones. It is guarded by the owning Log's mutex.
+type shardLog struct {
+	dir         string
+	active      *os.File
+	activeID    int
+	activeSize  int64
+	activeMax   uint64
+	activeCount int
+	closed      []closedSeg
+}
+
+// openShard positions the shard for appending: it reuses the newest existing
+// segment (recovery has already truncated it to a clean record boundary) or
+// creates the first one.
+func openShard(dir string, lastID int, lastSize int64, lastMax uint64, lastCount int, closed []closedSeg) (*shardLog, error) {
+	sh := &shardLog{dir: dir, closed: closed}
+	if lastID == 0 {
+		if err := sh.rotate(1); err != nil {
+			return nil, err
+		}
+		return sh, nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(lastID)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopen segment: %w", err)
+	}
+	sh.active = f
+	sh.activeID = lastID
+	sh.activeSize = lastSize
+	sh.activeMax = lastMax
+	sh.activeCount = lastCount
+	return sh, nil
+}
+
+// rotate seals the active segment (if any) and starts segment id next.
+func (sh *shardLog) rotate(next int) error {
+	if sh.active != nil {
+		if sh.activeCount > 0 {
+			sh.closed = append(sh.closed, closedSeg{id: sh.activeID, maxSeq: sh.activeMax})
+		}
+		if err := sh.active.Close(); err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(sh.dir, segName(next)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		closeErr := f.Close()
+		_ = closeErr
+		return fmt.Errorf("store: write segment magic: %w", err)
+	}
+	sh.active = f
+	sh.activeID = next
+	sh.activeSize = int64(len(segMagic))
+	sh.activeMax = 0
+	sh.activeCount = 0
+	return nil
+}
+
+// append frames payload into the active segment, rotating first when the
+// active segment is full. seq is the op's global sequence number.
+func (sh *shardLog) append(payload []byte, seq uint64, segmentBytes int64, sync bool) (int, error) {
+	if sh.activeCount > 0 && sh.activeSize >= segmentBytes {
+		if err := sh.rotate(sh.activeID + 1); err != nil {
+			return 0, err
+		}
+	}
+	buf := appendRecord(nil, payload)
+	if _, err := sh.active.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: append record: %w", err)
+	}
+	if sync {
+		if err := sh.active.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync segment: %w", err)
+		}
+	}
+	sh.activeSize += int64(len(buf))
+	sh.activeMax = seq
+	sh.activeCount++
+	return len(buf), nil
+}
+
+// segments returns how many segment files the shard currently owns.
+func (sh *shardLog) segments() int { return len(sh.closed) + 1 }
+
+// compact deletes sealed segments whose every record is covered by a
+// snapshot at snapSeq (a snapshot at epoch S contains ops with seq < S).
+func (sh *shardLog) compact(snapSeq uint64) error {
+	keep := sh.closed[:0]
+	for _, cs := range sh.closed {
+		if cs.maxSeq < snapSeq {
+			if err := os.Remove(filepath.Join(sh.dir, segName(cs.id))); err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, cs)
+	}
+	sh.closed = keep
+	return nil
+}
+
+func (sh *shardLog) close() error {
+	if sh.active == nil {
+		return nil
+	}
+	err := sh.active.Close()
+	sh.active = nil
+	if err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	return nil
+}
+
+// segRecord is one decoded record with its physical position, kept during
+// recovery so the repair pass can truncate at exact byte offsets.
+type segRecord struct {
+	op    chain.Op
+	segID int
+	// end is the byte offset just past this record in its segment file.
+	end int64
+}
+
+// listSegments returns the shard's segment ids in ascending order.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read shard dir: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("%w: stray segment file %q", ErrCorrupt, name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// readSegment decodes one segment file. tail is the number of undecodable
+// bytes at the physical end (0 when the file parses completely); the caller
+// decides whether that is a tolerated torn write (final segment of the
+// shard) or corruption. Damage that is provably not a torn tail — a bad
+// checksum with more data after it, an impossible length, JSON that cannot
+// be an op despite a valid checksum — is returned as ErrCorrupt.
+func readSegment(path string, id int) (recs []segRecord, tail int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read segment: %w", err)
+	}
+	if len(buf) < len(segMagic) {
+		// Shorter than the magic: only plausible as a torn first write.
+		if string(buf) == segMagic[:len(buf)] {
+			return nil, int64(len(buf)), nil
+		}
+		return nil, 0, fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, path)
+	}
+	if string(buf[:len(segMagic)]) != segMagic {
+		return nil, 0, fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, path)
+	}
+	off := len(segMagic)
+	for off < len(buf) {
+		payload, n, rerr := readRecord(buf[off:])
+		switch {
+		case rerr == nil:
+		case errors.Is(rerr, errTorn):
+			return recs, int64(len(buf) - off), nil
+		case errors.Is(rerr, errBadCRC):
+			if off+n == len(buf) {
+				// Checksum failure on the physically last record: a torn
+				// write that flushed the header before the payload.
+				return recs, int64(len(buf) - off), nil
+			}
+			return nil, 0, fmt.Errorf("%w: segment %s: checksum mismatch at offset %d", ErrCorrupt, path, off)
+		default:
+			return nil, 0, fmt.Errorf("segment %s: offset %d: %w", path, off, rerr)
+		}
+		var op chain.Op
+		if uerr := json.Unmarshal(payload, &op); uerr != nil {
+			return nil, 0, fmt.Errorf("%w: segment %s: offset %d: undecodable op: %v", ErrCorrupt, path, off, uerr)
+		}
+		if op.Kind != chain.OpBlock && op.Kind != chain.OpTx && op.Kind != chain.OpRS {
+			return nil, 0, fmt.Errorf("%w: segment %s: offset %d: unknown op kind %q", ErrCorrupt, path, off, op.Kind)
+		}
+		off += n
+		recs = append(recs, segRecord{op: op, segID: id, end: int64(off)})
+	}
+	return recs, 0, nil
+}

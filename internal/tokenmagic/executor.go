@@ -97,8 +97,8 @@ const (
 // solveCandidate runs Algorithm 1 lines 3–5 for one batch token: build the
 // modular problem, solve it (TM_R gets its derived stream), and keep the
 // result only when it contains the consuming token.
-func (f *Framework) solveCandidate(ctx context.Context, tok, target chain.TokenID, req diversity.Requirement, seed int64, idx int) (selector.Result, bool) {
-	p, u, err := f.problemFor(tok, req)
+func (f *Framework) solveCandidate(ctx context.Context, e *fwEpoch, tok, target chain.TokenID, req diversity.Requirement, seed int64, idx int) (selector.Result, bool) {
+	p, u, err := f.problemFor(e, tok, req)
 	if err != nil {
 		return selector.Result{}, false
 	}
@@ -106,7 +106,7 @@ func (f *Framework) solveCandidate(ctx context.Context, tok, target chain.TokenI
 	if f.cfg.Algorithm == RandomPick {
 		rng = streamRand(seed, uint64(idx))
 	}
-	res, err := f.solve(ctx, p, u, tok, req, rng)
+	res, err := f.solve(ctx, e, p, u, tok, req, rng)
 	if err != nil || !res.Tokens.Contains(target) {
 		return selector.Result{}, false
 	}
@@ -117,11 +117,11 @@ func (f *Framework) solveCandidate(ctx context.Context, tok, target chain.TokenI
 // request's trace, recording which worker ran it and the ring size it found.
 // The executor stays trace-agnostic below this point: with no trace in ctx
 // the span is a no-op and the only cost is one context lookup.
-func (f *Framework) solveCandidateSpan(ctx context.Context, worker int, tok, target chain.TokenID, req diversity.Requirement, seed int64, idx int) (selector.Result, bool) {
+func (f *Framework) solveCandidateSpan(ctx context.Context, e *fwEpoch, worker int, tok, target chain.TokenID, req diversity.Requirement, seed int64, idx int) (selector.Result, bool) {
 	ctx, sp := trace.StartSpan(ctx, "candidate")
 	defer sp.End()
 	sp.AnnotateInt("worker", int64(worker))
-	res, ok := f.solveCandidate(ctx, tok, target, req, seed, idx)
+	res, ok := f.solveCandidate(ctx, e, tok, target, req, seed, idx)
 	if ok {
 		sp.AnnotateInt("ring_size", int64(res.Size()))
 	}
@@ -131,14 +131,14 @@ func (f *Framework) solveCandidateSpan(ctx context.Context, worker int, tok, tar
 // sampleCandidatesTraced wraps the candidate sweep in a "sample" span carrying
 // the request seed and the universe/candidate counts — the per-request view of
 // Algorithm 1 lines 2–6.
-func (f *Framework) sampleCandidatesTraced(ctx context.Context, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, seed int64) ([]selector.Result, error) {
+func (f *Framework) sampleCandidatesTraced(ctx context.Context, e *fwEpoch, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, seed int64) ([]selector.Result, error) {
 	ctx, sp := trace.StartSpan(ctx, "sample")
 	defer sp.End()
 	// The seed is per-request context, kept at trace level so the span's
 	// fixed annotation slots stay within budget.
 	trace.FromContext(ctx).AnnotateInt("seed", seed)
 	sp.AnnotateInt("universe", int64(len(universe)))
-	candidates, err := f.sampleCandidates(ctx, universe, target, req, seed)
+	candidates, err := f.sampleCandidates(ctx, e, universe, target, req, seed)
 	sp.AnnotateInt("candidates", int64(len(candidates)))
 	return candidates, err
 }
@@ -148,7 +148,7 @@ func (f *Framework) sampleCandidatesTraced(ctx context.Context, universe chain.T
 // token order. With one worker it runs in-place; otherwise the solves fan
 // out over the pool. Both paths return byte-identical slices for the same
 // seed. A non-nil error is only ever the caller's context failing.
-func (f *Framework) sampleCandidates(ctx context.Context, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, seed int64) ([]selector.Result, error) {
+func (f *Framework) sampleCandidates(ctx context.Context, e *fwEpoch, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, seed int64) ([]selector.Result, error) {
 	n := len(universe)
 	if n == 0 {
 		return nil, ctx.Err()
@@ -166,7 +166,7 @@ func (f *Framework) sampleCandidates(ctx context.Context, universe chain.TokenSe
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if res, ok := f.solveCandidateSpan(ctx, 0, universe[i], target, req, seed, i); ok {
+			if res, ok := f.solveCandidateSpan(ctx, e, 0, universe[i], target, req, seed, i); ok {
 				results[i], states[i] = res, candSat
 				sat++
 				if f.cfg.StopAfter > 0 && sat >= f.cfg.StopAfter {
@@ -222,7 +222,7 @@ func (f *Framework) sampleCandidates(ctx context.Context, universe chain.TokenSe
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				res, ok := f.solveCandidateSpan(cctx, w, universe[i], target, req, seed, i)
+				res, ok := f.solveCandidateSpan(cctx, e, w, universe[i], target, req, seed, i)
 				finish(i, res, ok)
 			}
 		}()

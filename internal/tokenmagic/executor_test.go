@@ -91,9 +91,7 @@ func TestStopAfterDeterministicPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full.mu.RLock()
-	cands, err := full.sampleCandidates(context.Background(), universe, 5, req, seed)
-	full.mu.RUnlock()
+	cands, err := full.sampleCandidates(context.Background(), full.epoch.Load(), universe, 5, req, seed)
 	if err != nil {
 		t.Fatal(err)
 	}

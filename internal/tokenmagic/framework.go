@@ -109,22 +109,22 @@ func DefaultConfig() Config {
 // Framework wires a ledger, its batch list and the per-batch liveness
 // bookkeeping together.
 //
-// Concurrency: a Framework is safe for concurrent use. Reads (GenerateRS,
-// VerifyRS, Stats) proceed in parallel under mu's read side; writes (Commit,
-// RefreshBatches, UpdateLedger) are exclusive. The candidate-sampling worker
-// pool runs entirely within the caller's read hold, so workers never observe
-// a half-applied ledger mutation.
+// Concurrency: a Framework is safe for concurrent use, and readers never
+// contend with writers. Every mutation (Commit, RefreshBatches,
+// UpdateLedger) serialises on writeMu and publishes a fresh immutable
+// fwEpoch — ledger view, batch partition, copy-on-write guard state — via
+// one atomic store. Read paths (GenerateRS, VerifyRS, Batches) pin the
+// current epoch with one atomic load and run entirely against that
+// snapshot: the candidate-sampling worker pool, the Step-3 checks and the
+// decomposition cache all see a single consistent generation even while
+// commits land concurrently.
 type Framework struct {
-	// mu orders ledger/batch/guard mutation (Commit, RefreshBatches,
-	// UpdateLedger — write side) against the solve and verify paths (read
-	// side). The guards map is fully populated whenever mu is released, so
-	// readers never mutate it.
-	mu      sync.RWMutex
-	cfg     Config
+	cfg Config
+
+	// writeMu serialises the mutators. Readers never take it.
+	writeMu sync.Mutex
 	ledger  *chain.Ledger
-	batches *chain.BatchList
-	origin  func(chain.TokenID) chain.TxID
-	guards  map[int]*adversary.NeighborSets // batch index → guard state
+	epoch   atomic.Pointer[fwEpoch]
 
 	// rng only ever serves one purpose now: drawing the per-request seed
 	// that DeriveSeed splits into candidate streams. rngMu serialises those
@@ -132,21 +132,51 @@ type Framework struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	// decomp caches the module decomposition per batch; it is recomputed
-	// whenever the ledger's ring count moves (every Commit invalidates).
-	// Candidate sampling solves once per batch token, so without the cache
-	// Algorithm 1 re-runs RingsOver+Decompose |T| times per spend.
-	//
-	// decompMu guards only the map of per-batch entries; hits read the
-	// entry's atomic snapshot under the read lock, and a stale entry is
-	// refreshed under the entry's own mutex (single-flight per batch), so
-	// concurrent sampleCandidates workers never serialise globally on a
-	// recompute.
-	decompMu sync.RWMutex
-	decomp   map[int]*decompCache
-
 	metrics fwMetrics
 	stats   fwStats
+}
+
+// fwEpoch is one immutable generation of the framework's derived state.
+// seq increases by one per publish; readers pin a whole generation with a
+// single atomic load, so a pinned epoch keeps working — against its own
+// ledger view, batches and guards — no matter how many writes land after.
+type fwEpoch struct {
+	seq     uint64
+	view    *chain.View
+	batches *chain.BatchList
+	origin  func(chain.TokenID) chain.TxID
+	// guards is copy-on-write: Commit clones the map and the one mutated
+	// entry, so a published epoch's guard state never changes.
+	guards map[int]*adversary.NeighborSets
+	// decomp is shared across Commit-successive epochs (entries
+	// self-invalidate on ring count) and replaced wholesale when batch
+	// boundaries move (RefreshBatches, UpdateLedger).
+	decomp *decompTable
+}
+
+// guard returns the batch's liveness guard. The map is pre-populated for
+// every batch index when the epoch is built; the fallback only covers an
+// index the batch list does not know (defensive — BatchOf would have failed
+// first) and does not write the map, so epochs stay immutable.
+func (e *fwEpoch) guard(batch int) *adversary.NeighborSets {
+	if g := e.guards[batch]; g != nil {
+		return g
+	}
+	return adversary.NewNeighborSets()
+}
+
+// decompTable holds the per-batch decomposition cache of one batch-boundary
+// generation. The mutex guards only the map of entries; hits read an
+// entry's atomic snapshot, and a stale entry refreshes under its own mutex
+// (single-flight per batch), so concurrent sampleCandidates workers never
+// serialise globally on a recompute.
+type decompTable struct {
+	mu sync.RWMutex
+	m  map[int]*decompCache
+}
+
+func newDecompTable() *decompTable {
+	return &decompTable{m: make(map[int]*decompCache)}
 }
 
 // fwMetrics holds the registry handles the framework reports to.
@@ -161,6 +191,8 @@ type fwMetrics struct {
 	rejConfig    *obs.Counter
 	rejDiversity *obs.Counter
 	rejOther     *obs.Counter
+	epochGauge   *obs.Gauge
+	epochAdvance *obs.Histogram
 }
 
 func newFWMetrics(reg *obs.Registry, algo Algorithm) fwMetrics {
@@ -176,6 +208,8 @@ func newFWMetrics(reg *obs.Registry, algo Algorithm) fwMetrics {
 		rejConfig:    reg.Counter("framework.verify.reject.config"),
 		rejDiversity: reg.Counter("framework.verify.reject.diversity"),
 		rejOther:     reg.Counter("framework.verify.reject.other"),
+		epochGauge:   reg.Gauge("framework.epoch"),
+		epochAdvance: reg.Histogram("framework.epoch.advance_us", obs.LatencyBucketsUS),
 	}
 }
 
@@ -315,10 +349,6 @@ func NewSamplingRand() *rand.Rand {
 // generator (NewSamplingRand) when the configuration needs one, so
 // deterministic sequences only ever come from an explicit caller choice.
 func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
-	batches, err := chain.BuildBatches(ledger, cfg.Lambda)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Eta < 0 || cfg.Eta > 1 {
 		return nil, fmt.Errorf("tokenmagic: η must be in [0,1], got %v", cfg.Eta)
 	}
@@ -332,88 +362,123 @@ func New(ledger *chain.Ledger, cfg Config, rng *rand.Rand) (*Framework, error) {
 	f := &Framework{
 		cfg:     cfg,
 		ledger:  ledger,
-		batches: batches,
-		origin:  ledger.OriginFunc(),
 		rng:     rng,
 		metrics: newFWMetrics(reg, cfg.Algorithm),
 	}
-	f.initGuardsLocked()
+	if err := f.rebuildEpoch(); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
-// initGuardsLocked (re)builds the per-batch guard map — one entry for every
-// batch up front, then a replay of the ledger's rings — so the verify path
-// only ever reads the map and stays safe under mu's read side. Callers hold
-// mu exclusively (or own the Framework, as New does).
-func (f *Framework) initGuardsLocked() {
-	guards := make(map[int]*adversary.NeighborSets, f.batches.Len())
-	for i := 0; i < f.batches.Len(); i++ {
+// rebuildEpoch derives batches, origin and guard state from the ledger's
+// current view and publishes them as a fresh epoch. Callers hold writeMu
+// (or own the framework exclusively, as New does).
+func (f *Framework) rebuildEpoch() error {
+	v := f.ledger.View()
+	batches, err := chain.BuildBatchesView(v, f.cfg.Lambda)
+	if err != nil {
+		return err
+	}
+	guards := make(map[int]*adversary.NeighborSets, batches.Len())
+	for i := 0; i < batches.Len(); i++ {
 		guards[i] = adversary.NewNeighborSets()
 	}
-	for _, r := range f.ledger.Rings() {
-		if b, err := f.batches.BatchOf(r.Tokens[0]); err == nil {
+	for _, r := range v.Rings() {
+		if b, berr := batches.BatchOf(r.Tokens[0]); berr == nil {
 			guards[b.Index].Append(r)
 		}
 	}
-	f.guards = guards
+	f.publishEpoch(&fwEpoch{
+		view:    v,
+		batches: batches,
+		origin:  v.OriginFunc(),
+		guards:  guards,
+		// Batch boundaries may have moved; the ring-count keyed
+		// decomposition cache cannot tell, so start a fresh table.
+		decomp: newDecompTable(),
+	})
+	return nil
 }
 
-// guard returns the batch's liveness guard. The map is pre-populated for
-// every batch index by initGuardsLocked; the nil fallback only covers an
-// index the batch list does not know (defensive — BatchOf would have failed
-// first) and deliberately does not write the map, so readers stay readers.
-func (f *Framework) guard(batch int) *adversary.NeighborSets {
-	if g := f.guards[batch]; g != nil {
-		return g
+// publishEpoch stamps the next sequence number onto e and makes it the
+// current generation. Callers hold writeMu.
+func (f *Framework) publishEpoch(e *fwEpoch) {
+	if old := f.epoch.Load(); old != nil {
+		e.seq = old.seq + 1
 	}
-	return adversary.NewNeighborSets()
+	f.epoch.Store(e)
+	f.metrics.epochGauge.Set(int64(e.seq))
+}
+
+// Epoch returns the sequence number of the framework's current published
+// generation; it advances by one on every Commit, RefreshBatches and
+// UpdateLedger. The node's spend pipeline compares epochs to tell a
+// genuinely invalid ring from one that verified against stale state.
+func (f *Framework) Epoch() uint64 { return f.epoch.Load().seq }
+
+// currentEpoch pins the published epoch for a reader, first catching up if
+// the underlying ledger moved past it — which only happens when something
+// else appends to the shared ledger directly (another framework over the
+// same chain, a miner, a test). Generating or verifying against a
+// known-stale view would produce rings doomed to fail admission, so
+// staleness is worth a writeMu round trip; in the common single-writer
+// deployment the view is always current and this is one atomic load.
+func (f *Framework) currentEpoch() (*fwEpoch, error) {
+	e := f.epoch.Load()
+	if e.view.Epoch() == f.ledger.Epoch() {
+		return e, nil
+	}
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	if e = f.epoch.Load(); e.view.Epoch() == f.ledger.Epoch() {
+		return e, nil // another reader already caught up
+	}
+	if err := f.rebuildEpoch(); err != nil {
+		return nil, err
+	}
+	return f.epoch.Load(), nil
 }
 
 // RefreshBatches rebuilds the batch partition and guard state from the
 // current ledger, picking up tokens appended since the framework was built
 // (mirrors batchsvc.Server.RefreshBatches). On error the framework is left
-// unchanged.
+// unchanged. In-flight readers keep their pinned epoch and are unaffected.
 func (f *Framework) RefreshBatches() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.refreshLocked()
-}
-
-func (f *Framework) refreshLocked() error {
-	batches, err := chain.BuildBatches(f.ledger, f.cfg.Lambda)
-	if err != nil {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	start := time.Now()
+	if err := f.rebuildEpoch(); err != nil {
 		return err
 	}
-	f.batches = batches
-	f.origin = f.ledger.OriginFunc()
-	f.initGuardsLocked()
-	// Batch boundaries may have moved; the ring-count keyed decomposition
-	// cache cannot tell, so drop it wholesale.
-	f.decompMu.Lock()
-	f.decomp = nil
-	f.decompMu.Unlock()
+	f.metrics.epochAdvance.ObserveSince(start)
 	return nil
 }
 
-// UpdateLedger runs fn with exclusive access to the ledger (e.g. AppendToken
-// growth) and then refreshes the batch partition, so concurrent spends never
-// observe the mutation half-applied. If fn errors the refresh is skipped and
-// the error returned; fn must leave the ledger consistent on error.
+// UpdateLedger runs fn with exclusive write access to the ledger (e.g.
+// token growth) and then publishes a fresh epoch over the mutated state.
+// Concurrent spends keep reading their pinned pre-mutation epoch; they
+// never observe the mutation half-applied. If fn errors the epoch is not
+// advanced and the error returned; fn must leave the ledger consistent on
+// error.
 func (f *Framework) UpdateLedger(fn func(*chain.Ledger) error) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	start := time.Now()
 	if err := fn(f.ledger); err != nil {
 		return err
 	}
-	return f.refreshLocked()
+	if err := f.rebuildEpoch(); err != nil {
+		return err
+	}
+	f.metrics.epochAdvance.ObserveSince(start)
+	return nil
 }
 
-// Batches exposes the batch list (read-only use). The returned list is an
-// immutable snapshot; RefreshBatches swaps in a new one rather than mutating.
+// Batches exposes the current epoch's batch list. The returned list is an
+// immutable snapshot; writers publish a new one rather than mutating.
 func (f *Framework) Batches() *chain.BatchList {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.batches
+	return f.epoch.Load().batches
 }
 
 // effectiveReq applies the headroom configuration.
@@ -424,42 +489,44 @@ func (f *Framework) effectiveReq(req diversity.Requirement) diversity.Requiremen
 	return req
 }
 
-// problemFor assembles the modular problem for one consuming token, using
-// the cached per-batch decomposition when the ledger has not grown since it
-// was computed.
-func (f *Framework) problemFor(target chain.TokenID, req diversity.Requirement) (*selector.Problem, chain.TokenSet, error) {
-	b, err := f.batches.BatchOf(target)
+// problemFor assembles the modular problem for one consuming token against
+// one pinned epoch, using the cached per-batch decomposition when the
+// epoch's view matches the ring count it was computed at.
+func (f *Framework) problemFor(e *fwEpoch, target chain.TokenID, req diversity.Requirement) (*selector.Problem, chain.TokenSet, error) {
+	b, err := e.batches.BatchOf(target)
 	if err != nil {
 		return nil, nil, err
 	}
-	dc := f.decompFor(b)
-	p, err := selector.NewProblem(target, dc.supers, dc.fresh, f.origin, f.effectiveReq(req))
+	dc := f.decompFor(e, b)
+	p, err := selector.NewProblem(target, dc.supers, dc.fresh, e.origin, f.effectiveReq(req))
 	if err != nil {
 		return nil, nil, err
 	}
 	return p, b.Tokens, nil
 }
 
-// decompFor returns the batch's decomposition, refreshing it if stale. Cache
-// hits take only the read lock plus an atomic load; a miss recomputes under
-// the batch's own refresh mutex, so concurrent workers on the same stale
-// batch wait for one recompute (single-flight) while other batches proceed.
-func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
-	f.decompMu.RLock()
-	dc := f.decomp[b.Index]
-	f.decompMu.RUnlock()
+// decompFor returns the batch's decomposition at the pinned epoch,
+// refreshing the cache entry if it was computed at a different ring count.
+// Cache hits take only the table's read lock plus an atomic load; a miss
+// recomputes under the batch's own refresh mutex, so concurrent workers on
+// the same stale batch wait for one recompute (single-flight) while other
+// batches proceed. The table is shared across Commit-successive epochs —
+// safe because the ring list is append-only, so equal ring counts imply
+// identical rings.
+func (f *Framework) decompFor(e *fwEpoch, b chain.Batch) *decompSnapshot {
+	t := e.decomp
+	t.mu.RLock()
+	dc := t.m[b.Index]
+	t.mu.RUnlock()
 	if dc == nil {
-		f.decompMu.Lock()
-		if f.decomp == nil {
-			f.decomp = make(map[int]*decompCache)
-		}
-		if dc = f.decomp[b.Index]; dc == nil {
+		t.mu.Lock()
+		if dc = t.m[b.Index]; dc == nil {
 			dc = &decompCache{}
-			f.decomp[b.Index] = dc
+			t.m[b.Index] = dc
 		}
-		f.decompMu.Unlock()
+		t.mu.Unlock()
 	}
-	cur := f.ledger.NumRS()
+	cur := e.view.NumRS()
 	if s := dc.snap.Load(); s != nil && s.ringCount == cur {
 		f.stats.cacheHits.Add(1)
 		f.metrics.cacheHits.Inc()
@@ -467,9 +534,8 @@ func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
 	}
 	dc.refreshMu.Lock()
 	defer dc.refreshMu.Unlock()
-	// Re-check: another worker may have refreshed while we waited, and the
-	// ledger may have grown again — always refresh to the latest version.
-	cur = f.ledger.NumRS()
+	// Re-check: another worker may have refreshed to this epoch's version
+	// while we waited.
 	if s := dc.snap.Load(); s != nil && s.ringCount == cur {
 		f.stats.cacheHits.Add(1)
 		f.metrics.cacheHits.Inc()
@@ -477,7 +543,7 @@ func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
 	}
 	f.stats.cacheMisses.Add(1)
 	f.metrics.cacheMisses.Inc()
-	rings := f.ledger.RingsOver(b.Tokens)
+	rings := e.view.RingsOver(b.Tokens)
 	supers, fresh := selector.Decompose(rings, b.Tokens)
 	s := &decompSnapshot{ringCount: cur, rings: rings, supers: supers, fresh: fresh}
 	dc.snap.Store(s)
@@ -490,9 +556,9 @@ func (f *Framework) decompFor(b chain.Batch) *decompSnapshot {
 // bumped before the failure sub-counter so snapshots never see
 // SolveFailures > Solves. rng is the solve's private derived stream; only
 // TM_R consumes it.
-func (f *Framework) solve(ctx context.Context, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
+func (f *Framework) solve(ctx context.Context, e *fwEpoch, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
 	start := time.Now()
-	res, err := f.dispatch(ctx, p, universe, target, req, rng)
+	res, err := f.dispatch(ctx, e, p, universe, target, req, rng)
 	f.metrics.solveCount.Inc()
 	f.metrics.solveLatency.ObserveSince(start)
 	f.stats.solves.Add(1)
@@ -502,7 +568,7 @@ func (f *Framework) solve(ctx context.Context, p *selector.Problem, universe cha
 	return res, err
 }
 
-func (f *Framework) dispatch(ctx context.Context, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
+func (f *Framework) dispatch(ctx context.Context, e *fwEpoch, p *selector.Problem, universe chain.TokenSet, target chain.TokenID, req diversity.Requirement, rng *rand.Rand) (selector.Result, error) {
 	switch f.cfg.Algorithm {
 	case Progressive:
 		return selector.ProgressiveCtx(ctx, p)
@@ -519,8 +585,8 @@ func (f *Framework) dispatch(ctx context.Context, p *selector.Problem, universe 
 		return selector.BFSCtx(ctx, &selector.ExactProblem{
 			Target:   target,
 			Universe: universe,
-			Rings:    f.ledger.RingsOver(universe),
-			Origin:   f.origin,
+			Rings:    e.view.RingsOver(universe),
+			Origin:   e.origin,
 			Req:      req, // exact solver enforces DTRS diversity itself
 		})
 	default:
@@ -568,19 +634,22 @@ func (f *Framework) GenerateRSContext(ctx context.Context, target chain.TokenID,
 // from the framework rng; simulation replay (internal/sim) and the
 // equivalence test suites supply their own.
 func (f *Framework) GenerateRSSeeded(ctx context.Context, target chain.TokenID, req diversity.Requirement, seed int64) (selector.Result, error) {
-	f.mu.RLock()
-	res, err := f.generateRSSeeded(ctx, target, req, seed)
-	f.mu.RUnlock()
+	e, err := f.currentEpoch()
+	if err != nil {
+		return selector.Result{}, err
+	}
+	res, err := f.generateRSSeeded(ctx, e, target, req, seed)
 	if err == nil {
 		f.metrics.ringSize.Observe(int64(res.Size()))
 	}
 	return res, err
 }
 
-// generateRSSeeded runs under mu's read side; the sampling worker pool is
-// joined before it returns, so every solver access to the ledger happens
-// within this read hold.
-func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, req diversity.Requirement, seed int64) (selector.Result, error) {
+// generateRSSeeded runs lock-free against the pinned epoch; the sampling
+// worker pool is joined before it returns, and every solver access reads
+// the epoch's immutable view, so concurrent commits can never expose a
+// half-applied mutation to the request.
+func (f *Framework) generateRSSeeded(ctx context.Context, e *fwEpoch, target chain.TokenID, req diversity.Requirement, seed int64) (selector.Result, error) {
 	if err := req.Validate(); err != nil {
 		return selector.Result{}, err
 	}
@@ -588,7 +657,7 @@ func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, 
 		return selector.Result{}, err
 	}
 	if !f.cfg.Randomize {
-		p, universe, err := f.problemFor(target, req)
+		p, universe, err := f.problemFor(e, target, req)
 		if err != nil {
 			return selector.Result{}, err
 		}
@@ -596,13 +665,13 @@ func (f *Framework) generateRSSeeded(ctx context.Context, target chain.TokenID, 
 		if f.cfg.Algorithm == RandomPick {
 			rng = streamRand(seed, soloStream)
 		}
-		return f.solve(ctx, p, universe, target, req, rng)
+		return f.solve(ctx, e, p, universe, target, req, rng)
 	}
-	universe, err := f.batches.Universe(target)
+	universe, err := e.batches.Universe(target)
 	if err != nil {
 		return selector.Result{}, err
 	}
-	candidates, err := f.sampleCandidatesTraced(ctx, universe, target, req, seed)
+	candidates, err := f.sampleCandidatesTraced(ctx, e, universe, target, req, seed)
 	if err != nil {
 		return selector.Result{}, err
 	}
@@ -631,25 +700,52 @@ func (f *Framework) CommitCtx(ctx context.Context, tokens chain.TokenSet, req di
 	ctx, sp := trace.StartSpan(ctx, "commit")
 	defer sp.End()
 	sp.AnnotateInt("ring_size", int64(len(tokens)))
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if err := f.verifyAndCount(ctx, tokens, req); err != nil {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	start := time.Now()
+	e := f.epoch.Load() // writers serialise, so this IS the latest state
+	if e.view.Epoch() != f.ledger.Epoch() {
+		// The ledger moved outside the framework (another writer appended
+		// to it directly). Resync so the commit verifies against the live
+		// chain, not the stale pinned view.
+		if err := f.rebuildEpoch(); err != nil {
+			return -1, err
+		}
+		e = f.epoch.Load()
+	}
+	if err := f.verifyAndCount(ctx, e, tokens, req); err != nil {
 		return -1, err
 	}
 	id, err := f.ledger.AppendRS(tokens, req.C, req.L)
 	if err != nil {
 		return -1, err
 	}
-	rec, _ := f.ledger.RS(id)
-	if b, err := f.batches.BatchOf(tokens[0]); err == nil {
-		if g := f.guards[b.Index]; g != nil {
-			g.Append(rec)
-		} else {
-			g = adversary.NewNeighborSets()
-			g.Append(rec)
-			f.guards[b.Index] = g // exclusive hold: safe to fill the gap
+	nv := f.ledger.View()
+	rec, _ := nv.RS(id)
+	// Copy-on-write: clone the guard map and the one entry this ring lands
+	// in, leaving the previous epoch's guard state untouched for its
+	// pinned readers.
+	guards := e.guards
+	if b, berr := e.batches.BatchOf(tokens[0]); berr == nil {
+		guards = make(map[int]*adversary.NeighborSets, len(e.guards))
+		for k, v := range e.guards {
+			guards[k] = v
 		}
+		g := adversary.NewNeighborSets()
+		if old := e.guards[b.Index]; old != nil {
+			g = old.Clone()
+		}
+		g.Append(rec)
+		guards[b.Index] = g
 	}
+	f.publishEpoch(&fwEpoch{
+		view:    nv,
+		batches: e.batches, // a commit appends a ring; boundaries are unchanged
+		origin:  e.origin,  // and so is the token population
+		guards:  guards,
+		decomp:  e.decomp, // entries self-invalidate on ring count
+	})
+	f.metrics.epochAdvance.ObserveSince(start)
 	return id, nil
 }
 
@@ -665,19 +761,21 @@ func (f *Framework) VerifyRS(tokens chain.TokenSet, req diversity.Requirement) e
 // VerifyRSCtx is VerifyRS with the request's trace threaded through; the
 // check lands in a "verify" span annotated with the verdict.
 func (f *Framework) VerifyRSCtx(ctx context.Context, tokens chain.TokenSet, req diversity.Requirement) error {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.verifyAndCount(ctx, tokens, req)
+	e, err := f.currentEpoch()
+	if err != nil {
+		return err
+	}
+	return f.verifyAndCount(ctx, e, tokens, req)
 }
 
 // verifyAndCount classifies verifyRS's outcome into the admit/reject
 // counters and a "verify" span of the request's trace (verdict "admit", or
-// the reject class — "liveness" is the η guard). Callers hold mu (either
-// side).
-func (f *Framework) verifyAndCount(ctx context.Context, tokens chain.TokenSet, req diversity.Requirement) error {
+// the reject class — "liveness" is the η guard). The check runs entirely
+// against the pinned epoch e.
+func (f *Framework) verifyAndCount(ctx context.Context, e *fwEpoch, tokens chain.TokenSet, req diversity.Requirement) error {
 	sp := trace.StartChild(ctx, "verify")
 	defer sp.End()
-	err := f.verifyRS(tokens, req)
+	err := f.verifyRS(e, tokens, req)
 	switch {
 	case err == nil:
 		sp.Annotate("verdict", "admit")
@@ -703,14 +801,14 @@ func (f *Framework) verifyAndCount(ctx context.Context, tokens chain.TokenSet, r
 	return err
 }
 
-func (f *Framework) verifyRS(tokens chain.TokenSet, req diversity.Requirement) error {
+func (f *Framework) verifyRS(e *fwEpoch, tokens chain.TokenSet, req diversity.Requirement) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
 	if len(tokens) == 0 {
 		return chain.ErrEmptyRing
 	}
-	b, err := f.batches.BatchOf(tokens[0])
+	b, err := e.batches.BatchOf(tokens[0])
 	if err != nil {
 		return err
 	}
@@ -718,7 +816,7 @@ func (f *Framework) verifyRS(tokens chain.TokenSet, req diversity.Requirement) e
 		return fmt.Errorf("%w: ring spans multiple batches", ErrConfig)
 	}
 
-	rings := f.ledger.RingsOver(b.Tokens)
+	rings := e.view.RingsOver(b.Tokens)
 	subsetCount := 1 // the new ring itself
 	for _, r := range rings {
 		switch {
@@ -731,17 +829,17 @@ func (f *Framework) verifyRS(tokens chain.TokenSet, req diversity.Requirement) e
 	}
 
 	eff := f.effectiveReq(req)
-	if !diversity.SatisfiesTokens(tokens, f.origin, eff) {
+	if !diversity.SatisfiesTokens(tokens, e.origin, eff) {
 		return fmt.Errorf("%w: HT multiset fails %v", ErrDiversity, eff)
 	}
 	// Closed-form DTRS check (Theorem 6.1): with headroom this is implied
 	// (Theorem 6.4) but cheap enough that miners verify it regardless.
-	if !dtrs.AllSatisfyClosedForm(tokens, subsetCount, f.origin, req) {
+	if !dtrs.AllSatisfyClosedForm(tokens, subsetCount, e.origin, req) {
 		return fmt.Errorf("%w: a DTRS fails %v", ErrDiversity, req)
 	}
 
 	if f.cfg.Eta > 0 {
-		g := f.guard(b.Index)
+		g := e.guard(b.Index)
 		effSize := len(b.Tokens)
 		if effSize < f.cfg.Lambda {
 			// Trailing under-full batch: the paper scores |T| as λ+λ'−1
@@ -749,7 +847,7 @@ func (f *Framework) verifyRS(tokens chain.TokenSet, req diversity.Requirement) e
 			effSize = f.cfg.Lambda + effSize - 1
 		}
 		i := g.RingCount() + 1
-		mu := g.WouldConsume(chain.RingRecord{ID: chain.RSID(f.ledger.NumRS()), Tokens: tokens})
+		mu := g.WouldConsume(chain.RingRecord{ID: chain.RSID(e.view.NumRS()), Tokens: tokens})
 		// Section 4: the number of inferable consumed tokens must not
 		// exceed i − η·(|T| − i). The bound is clamped at zero so early
 		// rings that prove nothing (μ = 0) are always admissible.

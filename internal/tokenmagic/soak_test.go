@@ -15,6 +15,8 @@ import (
 
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
+	"tokenmagic/internal/obs"
+	"tokenmagic/internal/store"
 )
 
 func TestSoakConcurrentFrameworkUnderRefresh(t *testing.T) {
@@ -131,5 +133,119 @@ func TestSoakConcurrentFrameworkUnderRefresh(t *testing.T) {
 	}
 	if s.VerifyAdmits < int64(l.NumRS()) {
 		t.Fatalf("%d rings on chain but only %d verify admits", l.NumRS(), s.VerifyAdmits)
+	}
+}
+
+// TestSoakEpochPinnedReadersVsSnapshotter exercises the storage-backed
+// stack end to end under the race detector: epoch-pinning readers
+// (GenerateRS/VerifyRS), a committing writer journaling to a sharded log,
+// and a snapshotter persisting pinned views — all concurrent. Asserts the
+// framework epoch only moves forward, every generated ring contains its
+// target, and the durable state reopens to exactly the live ledger.
+func TestSoakEpochPinnedReadersVsSnapshotter(t *testing.T) {
+	const (
+		initialTx = 16 // ×2 outputs = 32 tokens
+		readers   = 3
+		iters     = 40
+	)
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{
+		Shards: 2, Lambda: 8, SegmentBytes: 4096, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := st.Ledger.BeginBlock()
+	for i := 0; i < initialTx; i++ {
+		if _, err := st.Ledger.AddTx(blk, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initialTokens := st.Ledger.NumTokens()
+	f, err := New(st.Ledger, Config{
+		Lambda:      8,
+		Eta:         0.1,
+		Headroom:    true,
+		Algorithm:   Progressive,
+		Randomize:   true,
+		Parallelism: 2,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := diversity.Requirement{C: 1, L: 3}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < iters; i++ {
+				if ep := f.Epoch(); ep < last {
+					t.Errorf("reader %d: epoch went backwards %d → %d", r, last, ep)
+					return
+				} else {
+					last = ep
+				}
+				target := chain.TokenID((r*iters + i) % initialTokens)
+				if res, gerr := f.GenerateRS(target, req); gerr == nil && !res.Tokens.Contains(target) {
+					t.Errorf("reader %d: ring %v misses target %d", r, res.Tokens, target)
+					return
+				}
+				_ = f.VerifyRS(chain.NewTokenSet(target), req)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			target := chain.TokenID((i * 3) % initialTokens)
+			_, _, _ = f.GenerateAndCommit(target, req) // rejects are expected
+		}
+	}()
+	// Snapshotter: persist a pinned view while commits keep appending.
+	// Snapshot never blocks readers or the committer's journal appends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if serr := st.Log.Snapshot(st.Ledger.View()); serr != nil {
+				t.Errorf("snapshot: %v", serr)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	want, err := store.Digest(st.Ledger.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch := st.Ledger.Epoch()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, store.Options{
+		Shards: 2, Lambda: 8, SegmentBytes: 4096, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := st2.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+	}()
+	if st2.Info.Epoch != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", st2.Info.Epoch, wantEpoch)
+	}
+	got, err := store.Digest(st2.Ledger.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("durable state diverged from live ledger: %s != %s", got, want)
 	}
 }
