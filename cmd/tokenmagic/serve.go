@@ -129,6 +129,13 @@ func cmdServe(args []string) error {
 			}
 			slog.Info("store seeded from data set", "kind", *kind, "seed", *seed, "epoch", st.Ledger.Epoch())
 		} else {
+			// Resumed history must extend the requested dataset; otherwise
+			// the node would silently serve (and grow) a population the
+			// flags do not describe.
+			if perr := st.Ledger.View().CheckPrefix(d.Ledger.View()); perr != nil {
+				return fmt.Errorf("serve: data dir %q was not seeded from -kind=%s -seed=%d: %v (point at a matching data dir, or a fresh one to reseed)",
+					*sf.dataDir, *kind, *seed, perr)
+			}
 			slog.Info("store resumed", "epoch", st.Ledger.Epoch(), "rings", st.Ledger.NumRS())
 		}
 		led = st.Ledger

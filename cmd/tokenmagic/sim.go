@@ -63,7 +63,13 @@ func cmdSim(args []string) error {
 				slog.Info("store seeded from generated chain", "epoch", st.Ledger.Epoch())
 			} else {
 				// Crash/restart: resume the recovered mid-run chain. Spends
-				// already on it stay committed; the run extends it.
+				// already on it stay committed; the run extends it — but only
+				// if it actually holds this run's token population (the
+				// Persist contract), not a dir seeded by different flags.
+				if perr := st.Ledger.View().CheckPrefix(gen.View()); perr != nil {
+					return nil, fmt.Errorf("sim: data dir %q holds a different population than this -tokens/-sigma/-seed run: %v (use matching flags or a fresh data dir)",
+						*sf.dataDir, perr)
+				}
 				slog.Info("store resumed mid-run",
 					"epoch", st.Ledger.Epoch(), "rings", st.Ledger.NumRS())
 			}

@@ -1,0 +1,95 @@
+package chain
+
+import "testing"
+
+// buildPrefixBase is a small chain with every op kind represented.
+func buildPrefixBase(t *testing.T) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	b := l.BeginBlock()
+	if _, err := l.AddTxAmounts(b, []uint64{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	b2 := l.BeginBlock()
+	if _, err := l.AddTxAmounts(b2, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendRS(NewTokenSet(0, 2), 1.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// replay rebuilds a ledger from a view's canonical op sequence, exactly what
+// store.Seed does when moving a generated dataset into a persistent store.
+func replay(t *testing.T, v *View) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	for _, op := range v.Ops() {
+		if err := l.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestCheckPrefix(t *testing.T) {
+	base := buildPrefixBase(t)
+
+	if err := base.View().CheckPrefix(base.View()); err != nil {
+		t.Fatalf("view does not extend itself: %v", err)
+	}
+
+	// The canonical rebuild — the state a persistent store recovers after
+	// being seeded from base — must check out against the original.
+	re := replay(t, base.View())
+	if err := re.View().CheckPrefix(base.View()); err != nil {
+		t.Fatalf("canonical rebuild rejected: %v", err)
+	}
+
+	// A resumed store additionally holds ops committed after seeding.
+	ext := replay(t, base.View())
+	eb := ext.BeginBlock()
+	if _, err := ext.AddTxAmounts(eb, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ext.AppendRS(NewTokenSet(1, 3), 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.View().CheckPrefix(base.View()); err != nil {
+		t.Fatalf("extension rejected: %v", err)
+	}
+	if err := base.View().CheckPrefix(ext.View()); err == nil {
+		t.Fatal("a view behind the base must be rejected")
+	}
+
+	// Same shape, different population: one amount differs.
+	diverged := NewLedger()
+	db := diverged.BeginBlock()
+	if _, err := diverged.AddTxAmounts(db, []uint64{5, 6, 8}); err != nil {
+		t.Fatal(err)
+	}
+	db2 := diverged.BeginBlock()
+	if _, err := diverged.AddTxAmounts(db2, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diverged.AppendRS(NewTokenSet(0, 2), 1.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := diverged.View().CheckPrefix(base.View()); err == nil {
+		t.Fatal("divergent token population accepted as an extension")
+	}
+
+	// Same tokens, different ring.
+	ringDiff := replay(t, base.View())
+	rl := buildPrefixBase(t)
+	if _, err := rl.AppendRS(NewTokenSet(1), 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ringDiff.AppendRS(NewTokenSet(3), 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ringDiff.View().CheckPrefix(rl.View()); err == nil {
+		t.Fatal("divergent ring history accepted as an extension")
+	}
+}

@@ -68,7 +68,7 @@ func FuzzSegmentRoundTrip(f *testing.F) {
 			if r.op.Kind != chain.OpBlock && r.op.Kind != chain.OpTx && r.op.Kind != chain.OpRS {
 				t.Fatalf("record %d: accepted unknown kind %q", i, r.op.Kind)
 			}
-			payload, n, rerr := readRecord(data[off:])
+			payload, n, rerr := readRecord(data[off:], maxRecordBytes)
 			if rerr != nil {
 				t.Fatalf("record %d: accepted but unreadable at offset %d: %v", i, off, rerr)
 			}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -122,6 +123,12 @@ func (s *Log) Append(op chain.Op) error {
 	if err != nil {
 		return fmt.Errorf("store: encode op: %w", err)
 	}
+	if len(payload) > maxRecordBytes {
+		// The segment reader rejects records over maxRecordBytes as
+		// ErrCorrupt; writing one would journal an op that can never be
+		// replayed. Refuse it here, before the ledger applies it.
+		return fmt.Errorf("store: op seq %d encodes to %d bytes, over the %d-byte record limit", op.Seq, len(payload), maxRecordBytes)
+	}
 	n, err := s.shards[s.shardFor(op)].append(payload, op.Seq, s.opts.SegmentBytes, s.opts.Sync)
 	if err != nil {
 		return err
@@ -165,11 +172,14 @@ const (
 
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d%s", seq, snapSuffix) }
 
-// Snapshot persists the view's full state as snap-<epoch>, fsyncs it and
-// renames it into place, then compacts segments the snapshot covers. It is
-// safe to call from a goroutine concurrent with appends: the view is
-// immutable, and snapshot writes serialise among themselves. Snapshots at or
-// behind the newest durable one are skipped.
+// Snapshot persists the view's full state as snap-<epoch>, fsyncs it,
+// renames it into place and fsyncs the directory, then compacts segments the
+// snapshot covers. The directory fsync orders the rename before the
+// compaction unlinks: without it a crash could durably delete the segments
+// while the snapshot rename is still volatile, losing both. It is safe to
+// call from a goroutine concurrent with appends: the view is immutable, and
+// snapshot writes serialise among themselves. Snapshots at or behind the
+// newest durable one are skipped.
 func (s *Log) Snapshot(v *chain.View) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -180,6 +190,12 @@ func (s *Log) Snapshot(v *chain.View) error {
 	var state bytes.Buffer
 	if _, err := v.WriteTo(&state); err != nil {
 		return fmt.Errorf("store: serialise snapshot: %w", err)
+	}
+	if int64(state.Len()) > math.MaxUint32 {
+		// The record header's length field is a u32; framing anything
+		// larger would silently truncate the length and write an
+		// unreadable snapshot.
+		return fmt.Errorf("store: snapshot state %d bytes overflows the u32 record length", state.Len())
 	}
 	sum := sha256.Sum256(state.Bytes())
 	meta, err := json.Marshal(snapMeta{Version: snapVersion, Seq: v.Epoch(), Digest: hex.EncodeToString(sum[:])})
@@ -196,6 +212,9 @@ func (s *Log) Snapshot(v *chain.View) error {
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
 	}
 	s.snapSeq.Store(v.Epoch())
 	s.mSnaps.Inc()
@@ -287,6 +306,23 @@ func writeFileSync(path string, data []byte) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making a preceding rename durable before the
+// caller deletes the files the renamed one supersedes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

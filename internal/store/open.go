@@ -159,6 +159,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	// are duplicates; the first gap ends the recoverable prefix — everything
 	// past it lost a predecessor in the crash and is dropped.
 	sort.SliceStable(merged, func(a, b int) bool { return merged[a].op.Seq < merged[b].op.Seq })
+	// The log must reach back to the recovery start point. Compaction only
+	// deletes records a durable snapshot covers, so an oldest surviving
+	// record beyond led.Epoch() means the snapshot covering the missing
+	// range exists but no longer loads (or was removed) — treating the whole
+	// log as a droppable tail here would silently roll the store back, then
+	// finishShard would destroy the evidence. Gaps strictly inside the
+	// replayed range stay tolerated: they are crash artifacts (one shard
+	// lost its unsynced tail while another kept later ops).
+	if len(merged) > 0 && merged[0].op.Seq > led.Epoch() {
+		return nil, fmt.Errorf("%w: oldest log record has seq %d but recovery starts at epoch %d; ops [%d,%d) are missing — the snapshot covering them did not load",
+			ErrCorrupt, merged[0].op.Seq, led.Epoch(), led.Epoch(), merged[0].op.Seq)
+	}
 	for _, m := range merged {
 		switch {
 		case m.op.Seq < led.Epoch():
@@ -311,8 +323,11 @@ func loadSnapshot(path string, wantSeq uint64) (*chain.Ledger, error) {
 	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorrupt, path)
 	}
+	// Snapshot records are bounded by the file itself, not maxRecordBytes: a
+	// ledger whose serialized state exceeds the per-op cap must still load
+	// back (Log.Snapshot writes it as one record).
 	off := len(snapMagic)
-	metaPayload, n, err := readRecord(buf[off:])
+	metaPayload, n, err := readRecord(buf[off:], len(buf))
 	if err != nil {
 		return nil, fmt.Errorf("%w: snapshot %s: meta record: %v", ErrCorrupt, path, err)
 	}
@@ -324,7 +339,7 @@ func loadSnapshot(path string, wantSeq uint64) (*chain.Ledger, error) {
 		return nil, fmt.Errorf("%w: snapshot %s: meta mismatch (version %d, seq %d)", ErrCorrupt, path, meta.Version, meta.Seq)
 	}
 	off += n
-	state, n2, err := readRecord(buf[off:])
+	state, n2, err := readRecord(buf[off:], len(buf))
 	if err != nil {
 		return nil, fmt.Errorf("%w: snapshot %s: state record: %v", ErrCorrupt, path, err)
 	}

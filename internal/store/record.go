@@ -26,8 +26,12 @@ import (
 // payload, then the payload (one JSON-encoded chain.Op).
 const (
 	recordHeaderLen = 8
-	// maxRecordBytes bounds a single record so a corrupt length field cannot
-	// drive a huge allocation.
+	// maxRecordBytes bounds a single op record so a corrupt length field
+	// cannot drive a huge allocation. It applies to the segment log only:
+	// Log.Append refuses to write an op over the limit, so the reader can
+	// reject anything larger as corruption. Snapshot files hold the whole
+	// ledger state as one record and are bounded by file size instead — a
+	// large ledger must still snapshot and load back (see loadSnapshot).
 	maxRecordBytes = 1 << 24
 )
 
@@ -44,6 +48,12 @@ var (
 
 	errTorn   = errors.New("store: record extends past end of data")
 	errBadCRC = errors.New("store: record checksum mismatch")
+	// errShardFailed seals a shard after a failed append: the active segment
+	// may end in a partial record, and appending past it would bury a torn
+	// tail mid-log — damage recovery refuses to repair. Reopening the store
+	// truncates the file back to the last good boundary and clears the
+	// condition.
+	errShardFailed = errors.New("store: shard disabled by earlier failed append")
 )
 
 // appendRecord frames payload onto dst and returns the extended slice.
@@ -56,7 +66,11 @@ func appendRecord(dst, payload []byte) []byte {
 }
 
 // readRecord decodes the record at the start of buf, returning the payload
-// and the total bytes the record occupies. Errors classify the damage:
+// and the total bytes the record occupies. limit bounds the declared payload
+// length: segment readers pass maxRecordBytes (the same cap Log.Append
+// enforces on writes), snapshot readers pass the file size, since a
+// snapshot's state record is one arbitrarily large blob. Errors classify the
+// damage:
 //
 //   - errTorn: buf ends before the record does (short header or short
 //     payload). n is 0.
@@ -65,13 +79,13 @@ func appendRecord(dst, payload []byte) []byte {
 //     physical end of the data (torn write) or mid-log (corruption).
 //   - ErrCorrupt: the length field is impossible; nothing here can be a
 //     record.
-func readRecord(buf []byte) (payload []byte, n int, err error) {
+func readRecord(buf []byte, limit int) (payload []byte, n int, err error) {
 	if len(buf) < recordHeaderLen {
 		return nil, 0, errTorn
 	}
 	size := binary.LittleEndian.Uint32(buf[0:4])
-	if size > maxRecordBytes {
-		return nil, 0, fmt.Errorf("%w: record length %d exceeds %d-byte limit", ErrCorrupt, size, maxRecordBytes)
+	if int64(size) > int64(limit) {
+		return nil, 0, fmt.Errorf("%w: record length %d exceeds %d-byte limit", ErrCorrupt, size, limit)
 	}
 	end := recordHeaderLen + int(size)
 	if len(buf) < end {

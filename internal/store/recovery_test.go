@@ -369,6 +369,180 @@ func TestCrossShardGapRepair(t *testing.T) {
 	}
 }
 
+// TestSnapshotLossAfterCompactionFailsLoudly is the total-data-loss
+// scenario: compaction has deleted the segments a snapshot covers, and then
+// that snapshot turns out corrupt (or missing) at recovery. The surviving
+// log no longer reaches back to any loadable recovery point; treating it as
+// a droppable tail would silently hand back an empty ledger AND destroy the
+// remaining evidence. Recovery must refuse with ErrCorrupt instead.
+func TestSnapshotLossAfterCompactionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 1, SegmentBytes: 256, SnapshotEvery: 10} // compaction on
+	buildStore(t, dir, testOpts(opts), 50)
+
+	// Sanity: compaction must actually have eaten the early log, so the
+	// oldest surviving record sits well past genesis.
+	sd := filepath.Join(dir, shardDirName(0))
+	ids, err := listSegments(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, tail, err := readSegment(filepath.Join(sd, segName(ids[0])), ids[0])
+	if err != nil || tail != 0 {
+		t.Fatalf("read first segment: err=%v tail=%d", err, tail)
+	}
+	if len(first) == 0 || first[0].op.Seq == 0 {
+		t.Fatalf("compaction kept the full log (%d segs); scenario not armed", len(ids))
+	}
+
+	newest := ""
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), snapSuffix) && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatal("no snapshot on disk")
+	}
+
+	// One corrupt byte in the only snapshot covering the compacted range.
+	work := copyTree(t, dir)
+	data, err := os.ReadFile(filepath.Join(work, newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(work, newest), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, oerr := Open(work, testOpts(opts)); !errors.Is(oerr, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot over compacted log: got %v, want ErrCorrupt", oerr)
+	}
+	// The refused open must not have truncated anything: repairing the
+	// snapshot byte back makes the store fully recoverable again.
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(work, newest), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := openT(t, work, testOpts(opts))
+	if st.Info.Epoch != 50 {
+		t.Fatalf("store damaged by refused open: %+v", st.Info)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same with the snapshot deleted outright.
+	work = copyTree(t, dir)
+	removeMatching(t, work, snapSuffix)
+	if _, oerr := Open(work, testOpts(opts)); !errors.Is(oerr, ErrCorrupt) {
+		t.Fatalf("missing snapshot over compacted log: got %v, want ErrCorrupt", oerr)
+	}
+}
+
+// TestOversizedSnapshotRoundTrip: a ledger whose serialized state exceeds
+// the per-op record cap must still snapshot and recover — the snapshot
+// state record is bounded by file size, not maxRecordBytes. Before that
+// exemption, every snapshot of a big ledger was unreadable on reopen, which
+// combined with compaction into guaranteed data loss.
+func TestOversizedSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >16MiB ledger state")
+	}
+	dir := t.TempDir()
+	opts := Options{Shards: 1, SegmentBytes: 1 << 20}
+	st := openT(t, dir, testOpts(opts))
+	b := st.Ledger.BeginBlock()
+	amounts := make([]uint64, 4096)
+	for i := range amounts {
+		amounts[i] = uint64(i + 1)
+	}
+	stateSize := func() int64 {
+		var cw countingWriter
+		if _, err := st.Ledger.View().WriteTo(&cw); err != nil {
+			t.Fatal(err)
+		}
+		return int64(cw)
+	}
+	for stateSize() <= maxRecordBytes {
+		for i := 0; i < 32; i++ {
+			if _, err := st.Ledger.AddTxAmounts(b, amounts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := digestLedger(t, st.Ledger)
+	epoch := st.Ledger.Epoch()
+	if err := st.Log.Snapshot(st.Ledger.View()); err != nil {
+		t.Fatalf("snapshot of oversized state: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, testOpts(opts))
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if st2.Info.SnapshotSeq != epoch {
+		t.Fatalf("recovery did not load the oversized snapshot: %+v", st2.Info)
+	}
+	if got := digestLedger(t, st2.Ledger); got != want {
+		t.Fatal("oversized snapshot round trip diverged")
+	}
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// TestFailedAppendPoisonsShard: after an append fails partway, the shard
+// must refuse further appends — writing past the partial bytes would bury a
+// torn tail mid-segment, which recovery treats as ErrCorrupt rather than a
+// repairable crash artifact.
+func TestFailedAppendPoisonsShard(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, testOpts(Options{Shards: 1}))
+	applyScript(t, st.Ledger, 10, 42)
+	want := digestLedger(t, st.Ledger)
+
+	// Force the next write to fail by closing the active segment file
+	// behind the shard's back.
+	if err := st.Log.shards[0].active.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ledger.AddTxAmounts(0, []uint64{1}); err == nil {
+		t.Fatal("append over a closed file must fail")
+	}
+	if _, err := st.Ledger.AddTxAmounts(0, []uint64{2}); !errors.Is(err, errShardFailed) {
+		t.Fatalf("append after failed append: got %v, want errShardFailed", err)
+	}
+	_ = st.Log.Close() // active fd already closed; only the flock matters
+
+	// Reopen repairs whatever the failed write left and resumes cleanly.
+	st2 := openT(t, dir, testOpts(Options{Shards: 1}))
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if st2.Info.Epoch != 10 {
+		t.Fatalf("recovered epoch %d, want 10 (info %+v)", st2.Info.Epoch, st2.Info)
+	}
+	if got := digestLedger(t, st2.Ledger); got != want {
+		t.Fatal("recovered state diverges from pre-failure commits")
+	}
+	applyScript(t, st2.Ledger, 5, 7)
+}
+
 func removeMatching(t *testing.T, dir, suffix string) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)

@@ -44,6 +44,10 @@ type shardLog struct {
 	activeMax   uint64
 	activeCount int
 	closed      []closedSeg
+	// failed is set when an append did not complete (ENOSPC, I/O error):
+	// the active segment may end in partial bytes, so the shard refuses
+	// further appends until a reopen repairs the file.
+	failed bool
 }
 
 // openShard positions the shard for appending: it reuses the newest existing
@@ -99,6 +103,9 @@ func (sh *shardLog) rotate(next int) error {
 // append frames payload into the active segment, rotating first when the
 // active segment is full. seq is the op's global sequence number.
 func (sh *shardLog) append(payload []byte, seq uint64, segmentBytes int64, sync bool) (int, error) {
+	if sh.failed {
+		return 0, errShardFailed
+	}
 	if sh.activeCount > 0 && sh.activeSize >= segmentBytes {
 		if err := sh.rotate(sh.activeID + 1); err != nil {
 			return 0, err
@@ -106,10 +113,20 @@ func (sh *shardLog) append(payload []byte, seq uint64, segmentBytes int64, sync 
 	}
 	buf := appendRecord(nil, payload)
 	if _, err := sh.active.Write(buf); err != nil {
+		// The write may have landed partially; a later successful append
+		// would bury the torn bytes mid-segment, turning a recoverable
+		// tail into ErrCorrupt. Seal the shard and try to cut the file
+		// back to the last good record boundary.
+		sh.failed = true
+		_ = sh.active.Truncate(sh.activeSize)
 		return 0, fmt.Errorf("store: append record: %w", err)
 	}
 	if sync {
 		if err := sh.active.Sync(); err != nil {
+			// After a failed fsync the kernel may drop the dirty pages, so
+			// the record's durability is unknown; seal the shard rather
+			// than append after a possibly-lost record.
+			sh.failed = true
 			return 0, fmt.Errorf("store: sync segment: %w", err)
 		}
 	}
@@ -205,7 +222,7 @@ func readSegment(path string, id int) (recs []segRecord, tail int64, err error) 
 	}
 	off := len(segMagic)
 	for off < len(buf) {
-		payload, n, rerr := readRecord(buf[off:])
+		payload, n, rerr := readRecord(buf[off:], maxRecordBytes)
 		switch {
 		case rerr == nil:
 		case errors.Is(rerr, errTorn):
