@@ -81,12 +81,14 @@ func cmdSim(args []string) error {
 		return err
 	}
 	fmt.Println("anonymity over time (exact chain-reaction adversary):")
-	fmt.Printf("%8s %8s %8s %12s %14s %18s\n",
-		"attempt", "rings", "traced", "htRevealed", "avgAnonymity", "provablyConsumed")
+	fmt.Printf("%8s %8s %8s %12s %14s %14s %18s\n",
+		"attempt", "rings", "traced", "htRevealed", "avgAnonymity", "minAnonymity", "provablyConsumed")
 	for _, s := range res.Snapshots {
-		fmt.Printf("%8d %8d %8d %12d %14.2f %18d\n",
-			s.Attempt, s.RingsOnChain, s.Traced, s.HTRevealed, s.AvgAnonymity, s.ProvablyConsumed)
+		fmt.Printf("%8d %8d %8d %12d %14.2f %14d %18d\n",
+			s.Attempt, s.RingsOnChain, s.Traced, s.HTRevealed, s.AvgAnonymity, s.MinAnonymity, s.ProvablyConsumed)
 	}
+	fmt.Printf("\neffective anonymity-set size (DM decomposition): mean=%.2f min=%d over %d rings (traced=%d)\n",
+		res.Final.AvgAnonymity, res.Final.MinAnonymity, res.Final.Rings, res.Final.Traced)
 	fmt.Println("\nper-segment outcomes:")
 	fmt.Printf("%-14s %10s %10s %10s %10s\n", "segment", "attempts", "committed", "rejected", "avgSize")
 	for _, seg := range res.Segments {

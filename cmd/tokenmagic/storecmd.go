@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"os"
 
+	"tokenmagic/internal/adversary/graphattack"
 	"tokenmagic/internal/store"
 )
 
@@ -60,7 +61,10 @@ func (sf *storeFlags) open(lambda int) (*store.Store, error) {
 }
 
 // recoverReport is the JSON the recover subcommand emits, one object per
-// open, so CI can diff two recoveries structurally.
+// open, so CI can diff two recoveries structurally. The anonymity block is
+// a DM audit of the recovered rings — recovery that silently dropped or
+// duplicated rings shows up as a traced-count or min-anonymity shift even
+// when counts look plausible.
 type recoverReport struct {
 	Info   store.RecoveryInfo `json:"info"`
 	Digest string             `json:"digest"`
@@ -68,6 +72,13 @@ type recoverReport struct {
 	Txs    int                `json:"txs"`
 	Tokens int                `json:"tokens"`
 	Rings  int                `json:"rings"`
+	// AuditedRings is how many rings the DM audit covered: equal to Rings,
+	// or 0 when the ledger exceeded -max-audit-rings and the audit was
+	// skipped (matching has superlinear cost on huge ledgers).
+	AuditedRings  int     `json:"audited_rings"`
+	TracedRings   int     `json:"traced_rings"`
+	MinAnonymity  int     `json:"min_anonymity"`
+	MeanAnonymity float64 `json:"mean_anonymity"`
 }
 
 // cmdRecover opens a data dir, prints what recovery found, then opens it a
@@ -78,6 +89,7 @@ func cmdRecover(args []string) error {
 	fs := flag.NewFlagSet("recover", flag.ExitOnError)
 	sf := registerStoreFlags(fs)
 	lambda := fs.Int("lambda", 800, "batch size parameter λ (shard routing)")
+	maxAudit := fs.Int("max-audit-rings", 4096, "skip the DM anonymity audit above this many recovered rings (0 = always skip)")
 	logLevel := fs.String("log-level", "warn", "slog level: debug|info|warn|error")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,14 +115,22 @@ func cmdRecover(args []string) error {
 		if err != nil {
 			return recoverReport{}, err
 		}
-		return recoverReport{
+		rep := recoverReport{
 			Info:   st.Info,
 			Digest: digest,
 			Blocks: st.Ledger.NumBlocks(),
 			Txs:    st.Ledger.NumTxs(),
 			Tokens: st.Ledger.NumTokens(),
 			Rings:  st.Ledger.NumRS(),
-		}, nil
+		}
+		if rep.Rings > 0 && rep.Rings <= *maxAudit {
+			m := graphattack.DM(st.Ledger.Rings(), nil, st.Ledger.OriginFunc()).Metrics
+			rep.AuditedRings = m.Rings
+			rep.TracedRings = m.Traced
+			rep.MinAnonymity = m.MinAnonymity
+			rep.MeanAnonymity = m.AvgAnonymity
+		}
+		return rep, nil
 	}
 
 	first, err := report()

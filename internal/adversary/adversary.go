@@ -193,6 +193,14 @@ func countMembers(members []bool) int {
 }
 
 func observe(id chain.RSID, remaining chain.TokenSet, origin func(chain.TokenID) chain.TxID) Observation {
+	return Observe(id, remaining, origin)
+}
+
+// Observe derives one ring's Observation from its surviving plausible-token
+// set: traced iff a single token remains, HT revealed iff all survivors
+// share one historical transaction. Exported for the graph-analysis attack
+// suite (graphattack), which derives survivor sets by other means.
+func Observe(id chain.RSID, remaining chain.TokenSet, origin func(chain.TokenID) chain.TxID) Observation {
 	obs := Observation{Ring: id, Remaining: remaining}
 	obs.Traced = len(remaining) == 1
 	if len(remaining) > 0 {
@@ -235,6 +243,7 @@ type Metrics struct {
 	Traced         int     // rings with exactly one plausible token
 	HTRevealed     int     // rings whose HT is determined (homogeneity)
 	AvgAnonymity   float64 // mean plausible-set size
+	MinAnonymity   int     // smallest plausible-set size over all rings (0 when no rings)
 	ConsumedTokens int
 }
 
@@ -250,6 +259,9 @@ func Summarise(a Analysis) Metrics {
 			m.HTRevealed++
 		}
 		total += len(o.Remaining)
+		if m.MinAnonymity == 0 || len(o.Remaining) < m.MinAnonymity {
+			m.MinAnonymity = len(o.Remaining)
+		}
 	}
 	if m.Rings > 0 {
 		m.AvgAnonymity = float64(total) / float64(m.Rings)

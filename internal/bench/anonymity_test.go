@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"tokenmagic/internal/adversary/graphattack"
+)
+
+// TestAnonymitySweepShape runs a miniature sweep and checks the matrix is
+// complete, deterministic, and never reports an attack beating DM's
+// anonymity from below the wrong side (forced/temporal may shrink sets, so
+// their min can only be ≤ DM's).
+func TestAnonymitySweepShape(t *testing.T) {
+	rep, err := AnonymitySweep(10, 4, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := graphattack.AttackNames()
+	if len(rep.Rows) != len(sweepSolvers)*len(attacks) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(sweepSolvers)*len(attacks))
+	}
+	byKey := map[[2]string]AnonymityRow{}
+	for _, r := range rep.Rows {
+		byKey[[2]string{r.Solver, r.Attack}] = r
+	}
+	for _, algo := range sweepSolvers {
+		dm := byKey[[2]string{algo.String(), "dm"}]
+		if dm.Rings == 0 {
+			t.Fatalf("%s committed no rings", algo)
+		}
+		for _, atk := range []string{"forced_closure", "temporal"} {
+			if row := byKey[[2]string{algo.String(), atk}]; row.MinAnonymity > dm.MinAnonymity {
+				t.Fatalf("%s/%s min %d > dm min %d", algo, atk, row.MinAnonymity, dm.MinAnonymity)
+			}
+		}
+	}
+
+	again, err := AnonymitySweep(10, 4, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Fatal("AnonymitySweep is not deterministic")
+	}
+}

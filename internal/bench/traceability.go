@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"math/rand"
 
 	"tokenmagic/internal/adversary"
@@ -12,14 +13,21 @@ import (
 )
 
 // TraceabilityPoint is one measured strategy in the traceability
-// experiment.
+// experiment. The exact (matching-based) adversary provides the headline
+// numbers; the greedy Theorem-4.1 cascade runs alongside it as a soundness
+// check — the cascade may trace fewer rings but never more.
 type TraceabilityPoint struct {
 	Strategy         string
 	RingsCommitted   int
 	Traced           int
 	HTRevealed       int
 	AvgAnonymity     float64
+	MinAnonymity     int
 	ProvablyConsumed int
+	// CascadeTraced and CascadeConsumed are the greedy cascade's weaker
+	// counterparts of Traced and ProvablyConsumed (⊆ the exact closure).
+	CascadeTraced   int
+	CascadeConsumed int
 }
 
 // Traceability is the motivation experiment behind the whole paper: drive
@@ -86,7 +94,11 @@ func Traceability(spends, zeta int, seed int64) ([]TraceabilityPoint, error) {
 			}
 			committed++
 		}
-		out = append(out, summarisePoint("Monero_SM", committed, d))
+		pt, err := summarisePoint("Monero_SM", committed, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
 	}
 
 	// Strategy (b): TokenMagic TM_P.
@@ -114,22 +126,51 @@ func Traceability(spends, zeta int, seed int64) ([]TraceabilityPoint, error) {
 			}
 			committed++
 		}
-		out = append(out, summarisePoint("TokenMagic_TM_P", committed, d))
+		pt, err := summarisePoint("TokenMagic_TM_P", committed, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }
 
-func summarisePoint(name string, committed int, d *workload.Dataset) TraceabilityPoint {
-	a := adversary.ChainReaction(d.Ledger.Rings(), nil, d.Origin())
-	m := adversary.Summarise(a)
+// summarisePoint runs BOTH adversaries over the committed ledger: the exact
+// matching-based closure for the headline numbers, and the greedy
+// Theorem-4.1 cascade as a differential check. These instances are small
+// enough for the exact analysis, so a cascade that eliminates a token the
+// exact analysis keeps — or proves consumption the exact closure does not —
+// is a soundness bug, reported as an error rather than folded into the
+// figures.
+func summarisePoint(name string, committed int, d *workload.Dataset) (TraceabilityPoint, error) {
+	rings := d.Ledger.Rings()
+	exact := adversary.ChainReaction(rings, nil, d.Origin())
+	cascade := adversary.Cascade(rings, nil, d.Origin())
+	for i := range rings {
+		if !exact.Observations[i].Remaining.SubsetOf(cascade.Observations[i].Remaining) {
+			return TraceabilityPoint{}, fmt.Errorf(
+				"bench: cascade unsound on %s ring %d: eliminated %v beyond exact %v",
+				name, i, cascade.Observations[i].Remaining, exact.Observations[i].Remaining)
+		}
+	}
+	if !cascade.Consumed.SubsetOf(exact.Consumed) {
+		return TraceabilityPoint{}, fmt.Errorf(
+			"bench: cascade unsound on %s: consumed %v ⊄ exact %v",
+			name, cascade.Consumed, exact.Consumed)
+	}
+	m := adversary.Summarise(exact)
+	cm := adversary.Summarise(cascade)
 	return TraceabilityPoint{
 		Strategy:         name,
 		RingsCommitted:   committed,
 		Traced:           m.Traced,
 		HTRevealed:       m.HTRevealed,
 		AvgAnonymity:     m.AvgAnonymity,
+		MinAnonymity:     m.MinAnonymity,
 		ProvablyConsumed: m.ConsumedTokens,
-	}
+		CascadeTraced:    cm.Traced,
+		CascadeConsumed:  cm.ConsumedTokens,
+	}, nil
 }
 
 // SideInfoResilience measures Theorem 6.2 empirically over committed rings:

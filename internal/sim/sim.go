@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"tokenmagic/internal/adversary"
+	"tokenmagic/internal/adversary/graphattack"
 	"tokenmagic/internal/chain"
 	"tokenmagic/internal/diversity"
 	"tokenmagic/internal/obs"
@@ -74,6 +75,7 @@ type Snapshot struct {
 	Traced           int
 	HTRevealed       int
 	AvgAnonymity     float64
+	MinAnonymity     int
 	ProvablyConsumed int
 }
 
@@ -100,6 +102,10 @@ type Result struct {
 	// ("TM_P" → snapshot), recorded in a registry private to this run, so
 	// p50/p99 reflect exactly these spends and not the process lifetime.
 	SolveLatencyUS map[string]obs.HistogramSnapshot
+	// Final is the DM-derived effective-anonymity summary of the finished
+	// ledger (the graphattack suite's exact closure): the headline
+	// mean/min effective anonymity-set size the sim prints.
+	Final adversary.Metrics
 }
 
 // Errors from configuration validation.
@@ -245,6 +251,7 @@ func Run(cfg Config) (*Result, error) {
 				Traced:           m.Traced,
 				HTRevealed:       m.HTRevealed,
 				AvgAnonymity:     m.AvgAnonymity,
+				MinAnonymity:     m.MinAnonymity,
 				ProvablyConsumed: m.ConsumedTokens,
 			})
 		}
@@ -254,6 +261,7 @@ func Run(cfg Config) (*Result, error) {
 			res.Segments[i].AvgSize = float64(sizeSums[i]) / float64(res.Segments[i].Committed)
 		}
 	}
+	res.Final = graphattack.DM(led.Rings(), nil, origin).Metrics
 	for _, f := range frameworks {
 		res.Framework = res.Framework.Add(f.Stats())
 	}

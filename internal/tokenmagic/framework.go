@@ -587,7 +587,10 @@ func (f *Framework) dispatch(ctx context.Context, e *fwEpoch, p *selector.Proble
 			Universe: universe,
 			Rings:    e.view.RingsOver(universe),
 			Origin:   e.origin,
-			Req:      req, // exact solver enforces DTRS diversity itself
+			// The exact solver enforces DTRS diversity itself, so it must
+			// see the same headroom-adjusted requirement the Step-3 check
+			// verifies — the heuristic solvers get it via problemFor.
+			Req: f.effectiveReq(req),
 		})
 	default:
 		return selector.Result{}, fmt.Errorf("tokenmagic: unknown algorithm %v", f.cfg.Algorithm)
